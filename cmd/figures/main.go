@@ -1,0 +1,159 @@
+// Command figures regenerates every figure in the paper (1–15), the
+// in-text claims, and the DESIGN.md ablations, writing <id>.csv and
+// <id>.txt into the output directory and printing the headline notes.
+//
+// Usage:
+//
+//	figures [-out dir] [-quick] [-only fig04,fig12]
+//
+// The default (paper-scale) run uses the paper's horizons — notably the
+// 10^7-second sweeps of Figures 7 and 8 — and takes a few minutes.
+// -quick shrinks horizons and replication counts to finish in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"routesync/internal/experiments"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "out", "output directory")
+		quick = flag.Bool("quick", false, "reduced horizons and replications")
+		only  = flag.String("only", "", "comma-separated figure ids to run (default all)")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	var index strings.Builder
+	index.WriteString("# Regenerated figures\n\n")
+	run := func(id string, fn func() *experiments.Result) {
+		if len(want) > 0 && !want[id] {
+			return
+		}
+		t0 := time.Now()
+		r := fn()
+		if err := r.WriteFiles(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%s, %v)\n", r.ID, r.Title, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(&index, "## %s — %s\n\n", r.ID, r.Title)
+		for _, n := range r.Notes {
+			fmt.Println("   ", n)
+			fmt.Fprintf(&index, "- %s\n", n)
+		}
+		fmt.Fprintf(&index, "- files: [`%s.csv`](%s.csv), [`%s.txt`](%s.txt)\n\n", r.ID, r.ID, r.ID, r.ID)
+	}
+
+	model := experiments.ModelConfig{Horizon: 1e5}
+	sweepHorizon := 1e7
+	markovCfg := experiments.MarkovConfig{Sims: 20, SimHorizon: 5e6}
+	pings := 1000
+	audioDur := 600.0
+	if *quick {
+		sweepHorizon = 1e6
+		markovCfg = experiments.MarkovConfig{Sims: 3, SimHorizon: 1e6}
+		pings = 300
+		audioDur = 180
+	}
+
+	var fig1Ping = func() *experiments.Result {
+		r, ping := experiments.Fig1(experiments.PathConfig{}, pings)
+		if len(want) == 0 || want["fig02"] {
+			r2 := experiments.Fig2(ping, 200)
+			if err := r2.WriteFiles(*out); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("== %s (%s)\n", r2.ID, r2.Title)
+			for _, n := range r2.Notes {
+				fmt.Println("   ", n)
+			}
+		}
+		return r
+	}
+	run("fig01", fig1Ping)
+	run("fig03", func() *experiments.Result {
+		r, _ := experiments.Fig3(experiments.PathConfig{}, audioDur)
+		return r
+	})
+	run("fig04", func() *experiments.Result { return experiments.Fig4(model) })
+	run("fig05", func() *experiments.Result { return experiments.Fig5(model, 0, 0) })
+	run("fig06", func() *experiments.Result { return experiments.Fig6(model) })
+	run("fig07", func() *experiments.Result {
+		cfg := model
+		cfg.Horizon = sweepHorizon
+		r, _ := experiments.Fig7(cfg, nil)
+		return r
+	})
+	run("fig08", func() *experiments.Result {
+		cfg := model
+		cfg.Horizon = sweepHorizon
+		r, _ := experiments.Fig8(cfg, nil, 0)
+		return r
+	})
+	run("fig09", func() *experiments.Result { return experiments.Fig9(markovCfg, 0) })
+	run("fig10", func() *experiments.Result { return experiments.Fig10(markovCfg, 0) })
+	run("fig11", func() *experiments.Result { return experiments.Fig11(markovCfg, 0) })
+	run("fig12", func() *experiments.Result { return experiments.Fig12(markovCfg, 0, 0, 0) })
+	run("fig13", func() *experiments.Result { return experiments.Fig13(markovCfg, nil, nil) })
+	run("fig14", func() *experiments.Result { return experiments.Fig14(markovCfg, 0, 0, 0) })
+	run("fig15", func() *experiments.Result { return experiments.Fig15(markovCfg, 0, 0, 0) })
+	run("claim_parc", func() *experiments.Result { return experiments.ClaimPARC(0, 1) })
+	run("claim_guidance", func() *experiments.Result { return experiments.ClaimGuidance() })
+	run("ablation_timer_policy", func() *experiments.Result { return experiments.AblationTimerPolicy(model) })
+	run("ablation_solver", func() *experiments.Result { return experiments.AblationSolver(markovCfg, 0) })
+	run("ablation_delivery", func() *experiments.Result { return experiments.AblationDelivery(nil, 1) })
+	run("ablation_queueing", func() *experiments.Result { return experiments.AblationQueueing(0, 1) })
+	run("ext_coherence", func() *experiments.Result { return experiments.ExtCoherence(model) })
+	run("ext_storm", func() *experiments.Result { return experiments.ExtStorm(0, 1) })
+	run("ext_nsweep", func() *experiments.Result {
+		seeds := 5
+		if *quick {
+			seeds = 2
+		}
+		return experiments.ExtNSweep(0, nil, seeds, 3e6, 1)
+	})
+	run("ext_perrouter_fixed", func() *experiments.Result { return experiments.ExtPerRouterFixed(nil, 1) })
+	run("ext_protocols", func() *experiments.Result { return experiments.ExtProtocolComparison(0, 0) })
+	run("ext_clientserver", func() *experiments.Result { return experiments.ExtClientServer(0, 1) })
+	run("ext_externalclock", func() *experiments.Result { return experiments.ExtExternalClock(1) })
+	run("ext_tcpsync", func() *experiments.Result { return experiments.ExtTCPSync(nil, 1) })
+	run("ext_threshold", func() *experiments.Result { return experiments.ExtThreshold(nil) })
+	run("ext_mixed_periods", func() *experiments.Result { return experiments.ExtMixedPeriods(0.1, 1e6, 1) })
+	run("ext_linkstate", func() *experiments.Result {
+		horizon := 3e5
+		if *quick {
+			horizon = 5e4
+		}
+		return experiments.ExtLinkState(20, horizon, 1)
+	})
+	run("ext_triggered", func() *experiments.Result {
+		horizon := 3e6
+		if *quick {
+			horizon = 5e5
+		}
+		return experiments.ExtTriggered(nil, horizon, 1)
+	})
+
+	// A partial -only run must not clobber the full index.
+	if len(want) == 0 {
+		if err := os.WriteFile(filepath.Join(*out, "INDEX.md"), []byte(index.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\nwrote figures to %s/\n", *out)
+}

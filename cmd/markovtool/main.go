@@ -1,0 +1,139 @@
+// Command markovtool evaluates the paper's §5 Markov chain model and
+// prints analysis tables: transition probabilities, expected hitting
+// times f(i)/g(i), the fraction of time unsynchronized, and parameter
+// sweeps over Tr or N.
+//
+// Usage:
+//
+//	markovtool [flags]
+//
+// Examples:
+//
+//	# the paper's Figure 12 sweep
+//	markovtool -sweep tr -lo 0.55 -hi 4.5 -step 0.05
+//
+//	# the Figure 15 sweep over router count
+//	markovtool -sweep n -tr 0.3 -lo 3 -hi 30
+//
+//	# a single-point table
+//	markovtool -tr 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"routesync/internal/markov"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 20, "number of routers")
+		tp    = flag.Float64("tp", 121, "mean timer period Tp (seconds)")
+		tr    = flag.Float64("tr", 0.1, "random component Tr (seconds)")
+		tc    = flag.Float64("tc", 0.11, "per-message processing cost Tc (seconds)")
+		f2    = flag.Float64("f2", 0, "f(2) in rounds (0 = estimate from p(1,2))")
+		sweep = flag.String("sweep", "", "sweep variable: '', 'tr' (multiples of Tc) or 'n'")
+		lo    = flag.Float64("lo", 0.55, "sweep lower bound")
+		hi    = flag.Float64("hi", 4.5, "sweep upper bound")
+		step  = flag.Float64("step", 0.05, "sweep step (tr sweep only)")
+	)
+	flag.Parse()
+
+	switch *sweep {
+	case "":
+		table(*n, *tp, *tr, *tc, *f2)
+	case "threshold":
+		fmt.Println("N     critical Tr (s)   critical Tr / Tc")
+		for k := int(*lo); k <= int(*hi); k++ {
+			if k < 2 {
+				continue
+			}
+			trc, ok := markov.CriticalTr(k, *tp, *tc, 0)
+			if !ok {
+				fmt.Printf("%-4d  (no threshold in (Tc/2, Tp/2])\n", k)
+				continue
+			}
+			fmt.Printf("%-4d  %-16.4f  %.3f\n", k, trc, trc / *tc)
+		}
+	case "tr":
+		fmt.Println("Tr/Tc     f(N) seconds      g(1) seconds      fraction-unsync")
+		for m := *lo; m <= *hi+1e-9; m += *step {
+			ch := mustChain(*n, *tp, m**tc, *tc, *f2)
+			fmt.Printf("%-8.3f  %-16s  %-16s  %.4f\n",
+				m, secs(ch.FN()*ch.RoundSeconds()), secs(ch.G1()*ch.RoundSeconds()),
+				ch.FractionUnsynchronized())
+		}
+	case "n":
+		fmt.Println("N     f(N) seconds      g(1) seconds      fraction-unsync")
+		for k := int(*lo); k <= int(*hi); k++ {
+			if k < 2 {
+				continue
+			}
+			ch := mustChain(k, *tp, *tr, *tc, *f2)
+			fmt.Printf("%-4d  %-16s  %-16s  %.4f\n",
+				k, secs(ch.FN()*ch.RoundSeconds()), secs(ch.G1()*ch.RoundSeconds()),
+				ch.FractionUnsynchronized())
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "markovtool: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+func mustChain(n int, tp, tr, tc, f2 float64) *markov.Chain {
+	ch, err := markov.New(markov.Params{N: n, Tp: tp, Tr: tr, Tc: tc, F2: f2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "markovtool:", err)
+		os.Exit(1)
+	}
+	return ch
+}
+
+func table(n int, tp, tr, tc, f2 float64) {
+	ch := mustChain(n, tp, tr, tc, f2)
+	fmt.Printf("N=%d Tp=%g Tr=%g Tc=%g (Tr = %.2f·Tc); p(1,2)=%.4g f(2)=%.4g rounds\n\n",
+		n, tp, tr, tc, tr/tc, ch.ResolvedP12(), ch.ResolvedF2())
+	f, g := ch.F(), ch.G()
+	fmt.Println(" i   p(i,i+1)   p(i,i-1)   f(i) rounds     g(i) rounds")
+	for i := 1; i <= n; i++ {
+		fmt.Printf("%2d   %.2e  %.2e  %-14s  %-14s\n",
+			i, ch.PUp(i), ch.PDown(i), rounds(f[i]), rounds(g[i]))
+	}
+	fmt.Printf("\nexpected unsync→sync: %s\n", secs(ch.FN()*ch.RoundSeconds()))
+	fmt.Printf("expected sync→unsync: %s\n", secs(ch.G1()*ch.RoundSeconds()))
+	fmt.Printf("fraction of time unsynchronized: %.4f\n", ch.FractionUnsynchronized())
+	if pi := ch.Stationary(); pi != nil {
+		best, idx := 0.0, 1
+		for i := 1; i <= n; i++ {
+			if pi[i] > best {
+				best, idx = pi[i], i
+			}
+		}
+		fmt.Printf("stationary mode: cluster size %d (π=%.3f)\n", idx, best)
+	}
+}
+
+func rounds(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func secs(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case v > 86400*365:
+		return fmt.Sprintf("%.3g (%.0fy)", v, v/(86400*365))
+	case v > 86400:
+		return fmt.Sprintf("%.3g (%.1fd)", v, v/86400)
+	case v > 3600:
+		return fmt.Sprintf("%.3g (%.1fh)", v, v/3600)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

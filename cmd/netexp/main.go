@@ -1,0 +1,90 @@
+// Command netexp runs the packet-level measurement scenarios (the
+// paper's §2 evidence) on the netsim substrate: a ping path through
+// routers whose synchronized routing updates stall forwarding, and a CBR
+// audio stream with periodic outages.
+//
+// Usage:
+//
+//	netexp -scenario ping [flags]     # Figures 1 and 2
+//	netexp -scenario audio [flags]    # Figure 3
+//
+// Examples:
+//
+//	# the Berkeley→MIT ping run: 1000 pings at 1.01 s over IGRP cores
+//	netexp -scenario ping -routers 10 -routes 300
+//
+//	# the same network after the NEARnet software fix (no stalls)
+//	netexp -scenario ping -routes 300 -fixed
+//
+//	# audio with jittered RIP timers: spikes disappear
+//	netexp -scenario audio -jitter 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routesync/internal/experiments"
+	"routesync/internal/jitter"
+	"routesync/internal/routing"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "ping", "ping or audio")
+		routers  = flag.Int("routers", 10, "routers on the backbone LAN")
+		routes   = flag.Int("routes", 300, "synthetic routes per router (table size)")
+		perRoute = flag.Float64("per-route", 0.001, "seconds of CPU per route")
+		jitterTr = flag.Float64("jitter", 0, "timer jitter half-width in seconds (0 = none)")
+		fixed    = flag.Bool("fixed", false, "post-fix routers: forwarding continues during update processing (emulated with negligible per-route cost)")
+		pings    = flag.Int("pings", 1000, "ping count (ping scenario)")
+		duration = flag.Float64("duration", 600, "stream duration in seconds (audio scenario)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		plot     = flag.Bool("plot", true, "render ASCII figures")
+	)
+	flag.Parse()
+
+	cfg := experiments.PathConfig{
+		Routers:      *routers,
+		ExtraRoutes:  *routes,
+		PerRouteCost: *perRoute,
+		Seed:         *seed,
+	}
+	if *fixed {
+		cfg.PerRouteCost = 1e-9
+	}
+	if *jitterTr > 0 {
+		switch *scenario {
+		case "ping":
+			cfg.Jitter = jitter.Uniform{Tp: routing.IGRP().Period, Tr: *jitterTr}
+		default:
+			cfg.Jitter = jitter.Uniform{Tp: routing.RIP().Period, Tr: *jitterTr}
+		}
+	}
+
+	switch *scenario {
+	case "ping":
+		r1, ping := experiments.Fig1(cfg, *pings)
+		show(r1, *plot)
+		r2 := experiments.Fig2(ping, 200)
+		show(r2, *plot)
+	case "audio":
+		r3, _ := experiments.Fig3(cfg, *duration)
+		show(r3, *plot)
+	default:
+		fmt.Fprintf(os.Stderr, "netexp: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+}
+
+func show(r *experiments.Result, plot bool) {
+	if plot {
+		fmt.Println(r.RenderASCII())
+		return
+	}
+	fmt.Printf("== %s — %s\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Println("   ", n)
+	}
+}

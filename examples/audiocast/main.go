@@ -1,0 +1,67 @@
+// Audiocast: reproduce the paper's Figure 3 — the November 1992 packet
+// video workshop audiocast whose audio died for several seconds every 30
+// seconds, in lock-step with synchronized RIP routing updates.
+//
+// Run with:
+//
+//	go run ./examples/audiocast
+package main
+
+import (
+	"fmt"
+
+	"routesync/internal/experiments"
+	"routesync/internal/jitter"
+	"routesync/internal/workload"
+)
+
+func main() {
+	fmt.Println("=== synchronized RIP updates under a 50 packets/s audio stream")
+	r, audio := experiments.Fig3(experiments.PathConfig{}, 600)
+	fmt.Println(r.RenderASCII())
+
+	big, small := 0, 0
+	for _, o := range audio.Outages() {
+		if o.Duration > 0.5 {
+			big++
+		} else {
+			small++
+		}
+	}
+	fmt.Printf("outage census: %d long periodic spikes, %d isolated blips\n", big, small)
+	fmt.Printf("overall loss: %.1f%% — \"during these events the packet loss rate ranges from 50 to 95%%\"\n\n",
+		100*audio.LossRate())
+	// Loss rate inside one spike window vs outside:
+	outs := audio.Outages()
+	for _, o := range outs {
+		if o.Duration > 0.5 {
+			rate := audio.LossRateIn(o.Start-0.5, o.Start+o.Duration+0.5)
+			fmt.Printf("first long spike: t=%.1fs, %.1fs long, %.0f%% loss in its window\n",
+				o.Start, o.Duration, 100*rate)
+			break
+		}
+	}
+
+	fmt.Println("\n=== the same stream with jittered RIP timers (Tr = Tp/2)")
+	cfg := experiments.PathConfig{Jitter: jitter.HalfSpread{Tp: 30}, BackgroundLoss: 0.002}
+	_, audio2 := experiments.Fig3(cfg, 600)
+	// Jitter does not reduce the routers' total update-processing time —
+	// it decorrelates it. The win is burstiness: the worst outage shrinks
+	// from the full synchronized busy window (all routers' updates back
+	// to back) to a single router's update.
+	fmt.Printf("worst outage with synchronized timers: %.2f s\n", maxOutage(audio))
+	fmt.Printf("worst outage with jittered timers:     %.2f s\n", maxOutage(audio2))
+	fmt.Println("total loss is similar (the CPU work hasn't gone anywhere), but the")
+	fmt.Println("multi-second audio dropouts are gone — exactly the paper's point about")
+	fmt.Println("correlated versus independent losses")
+}
+
+func maxOutage(a workload.AudioResult) float64 {
+	worst := 0.0
+	for _, o := range a.Outages() {
+		if o.Duration > worst {
+			worst = o.Duration
+		}
+	}
+	return worst
+}

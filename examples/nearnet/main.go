@@ -1,0 +1,70 @@
+// Nearnet: reproduce the paper's Figure 1/2 measurement end to end on the
+// packet simulator — the May 1992 Berkeley→MIT ping runs that kept losing
+// packets every ~90 seconds because NEARnet's core routers stalled while
+// processing synchronized IGRP updates.
+//
+// The example runs the scenario three ways:
+//  1. pre-fix routers, synchronized updates (the measured pathology),
+//  2. the same network with jittered timers (the paper's fix), and
+//  3. the software fix NEARnet actually deployed (forwarding continues
+//     during update processing).
+//
+// Run with:
+//
+//	go run ./examples/nearnet
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"routesync/internal/experiments"
+	"routesync/internal/jitter"
+	"routesync/internal/stats"
+)
+
+func main() {
+	fmt.Println("=== 1. synchronized IGRP updates, pre-fix routers (the measured pathology)")
+	r1, ping := experiments.Fig1(experiments.PathConfig{}, 1000)
+	fmt.Println(r1.RenderASCII())
+
+	acf := stats.Autocorrelation(ping.RTTsFilled(2.0), 200)
+	peak := stats.PeakLag(acf, 45, 200)
+	fmt.Printf("autocorrelation peak at lag %d pings — the update period showing through\n", peak)
+	fmt.Printf("(the paper measured lag 89; the coupled-timer period here is Tp+N·Tc ≈ 93 s → lag ≈ 92)\n\n")
+
+	fmt.Println("=== 2. the same network with jittered timers (Tr = Tp/2)")
+	cfg := experiments.PathConfig{
+		Jitter: jitter.HalfSpread{Tp: 90},
+	}
+	_, ping2 := experiments.Fig1(cfg, 1000)
+	fmt.Printf("loss rate with jitter: %.2f%% (was %.2f%%) — jitter does not reduce the\n",
+		100*ping2.LossRate(), 100*ping.LossRate())
+	fmt.Println("routers' total processing time, it decorrelates it: the worst run of")
+	fmt.Printf("consecutive lost pings shrinks from %d to %d\n",
+		worstRun(ping.RTTs), worstRun(ping2.RTTs))
+	fmt.Println()
+
+	fmt.Println("=== 3. the NEARnet software fix: forwarding during update processing")
+	cfgFixed := experiments.PathConfig{PerRouteCost: 1e-9}
+	_, ping3 := experiments.Fig1(cfgFixed, 1000)
+	fmt.Printf("loss rate with fixed forwarding path: %.2f%%\n", 100*ping3.LossRate())
+	fmt.Println("(the paper notes the underlying synchronized updates remain — the")
+	fmt.Println("load is still there, only the forwarding stall is gone)")
+}
+
+// worstRun returns the longest run of consecutive lost pings (NaN RTTs).
+func worstRun(rtts []float64) int {
+	worst, cur := 0, 0
+	for _, v := range rtts {
+		if math.IsNaN(v) {
+			cur++
+			if cur > worst {
+				worst = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return worst
+}

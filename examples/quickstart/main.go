@@ -1,0 +1,71 @@
+// Quickstart: watch twenty "independent" routing timers synchronize, then
+// apply the paper's jitter recommendation and watch the synchronization
+// dissolve.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"routesync"
+)
+
+func main() {
+	// The paper's Figure 4 scenario: 20 routers, 121-second timers,
+	// 0.11 s of processing per routing message, and only 0.1 s of
+	// incidental randomness.
+	params := routesync.PaperParams(0.1, 1)
+
+	rep, err := routesync.Simulate(params, routesync.SimOptions{Horizon: 1e6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Synchronized {
+		fmt.Printf("with Tr = 0.1 s the %d routers fully synchronized after %.0f rounds (%.1f hours)\n",
+			params.N, rep.SyncRounds, rep.SyncTime/3600)
+	} else {
+		fmt.Println("unexpected: the routers did not synchronize — try a longer horizon")
+	}
+
+	// What does the analysis say about this configuration?
+	a, err := routesync.Analyze(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the Markov chain model classifies this as the %s regime: "+
+		"the system spends %.1f%% of its time unsynchronized\n",
+		a.Regime, 100*a.FractionUnsynchronized)
+
+	// Now apply the paper's medicine: draw each timer interval from
+	// U[0.5·Tp, 1.5·Tp], i.e. Tr = Tp/2.
+	plan, err := routesync.PlanJitter(params.N, params.Tp, params.Tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecommended jitter: at least %.1f s (10·Tc); %.1f s (Tp/2) is always safe\n",
+		plan.MinTr, plan.SafeTr)
+	if tr, ok, err := routesync.CriticalJitter(params.N, params.Tp, params.Tc); err == nil && ok {
+		fmt.Printf("the phase transition for this deployment sits at Tr = %.2f s — the\n", tr)
+		fmt.Printf("0.1 s of incidental noise above is %.0fx too little\n", tr/params.Tr)
+	}
+
+	cured := params
+	cured.Tr = plan.SafeTr
+	rep2, err := routesync.Simulate(cured, routesync.SimOptions{
+		Horizon:           1e6,
+		StartSynchronized: true, // even from a synchronized restart...
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep2.Broken {
+		fmt.Printf("with Tr = Tp/2, a fully synchronized start breaks up within %.1f rounds (%.0f s)\n",
+			rep2.BreakRounds+1, rep2.BreakTime)
+	} else {
+		fmt.Println("unexpected: strong jitter failed to break synchronization")
+	}
+}

@@ -1,0 +1,46 @@
+// Tcpglobalsync: the paper's §1 opening example — "a well-known example
+// of unintended synchronization is the synchronization of the window
+// increase/decrease cycles of separate TCP connections sharing a common
+// bottleneck gateway [ZhC190]" — and its fix, "adding randomization to
+// the gateway's algorithm for choosing packets to drop during periods of
+// congestion [FJ92]".
+//
+// Ten AIMD flows share one bottleneck. With a drop-tail gateway every
+// congestion event cuts every flow: the sawtooths phase-lock and the link
+// periodically drains empty. With randomized drops the cycles decorrelate
+// and utilization rises.
+//
+// Run with:
+//
+//	go run ./examples/tcpglobalsync
+package main
+
+import (
+	"fmt"
+
+	"routesync/internal/scenarios"
+	"routesync/internal/trace"
+)
+
+func main() {
+	tail := scenarios.RunTCPSync(scenarios.TCPSyncConfig{Seed: 2})
+	random := scenarios.RunTCPSync(scenarios.TCPSyncConfig{RandomDrop: true, Seed: 2})
+
+	fmt.Println("10 TCP-like flows, bottleneck capacity 100 packets/RTT, 2000 RTTs")
+	fmt.Println()
+	fmt.Println(trace.Table(
+		[]string{"gateway", "sawtooth correlation", "flows cut per congestion", "utilization"},
+		[][]string{
+			{"drop-tail", fmt.Sprintf("%.2f", tail.SawtoothCorrelation),
+				fmt.Sprintf("%.1f", tail.CutsPerCongestion),
+				fmt.Sprintf("%.2f", tail.Utilization)},
+			{"randomized [FJ92]", fmt.Sprintf("%.2f", random.SawtoothCorrelation),
+				fmt.Sprintf("%.1f", random.CutsPerCongestion),
+				fmt.Sprintf("%.2f", random.Utilization)},
+		}))
+	fmt.Println("drop-tail cuts every flow at once — the windows march in phase")
+	fmt.Println("(correlation ~1) and the link empties after each synchronized")
+	fmt.Println("backoff; randomized dropping cuts one or two flows per event and")
+	fmt.Println("the aggregate stays smooth — the same inject-randomness medicine")
+	fmt.Println("the paper prescribes for routing timers")
+}

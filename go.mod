@@ -1,0 +1,3 @@
+module routesync
+
+go 1.22

@@ -1,0 +1,166 @@
+// Package cluster implements cluster identification for the Periodic
+// Messages model (paper §4): a cluster is a maximal set of routers whose
+// timer expirations fall inside one shared busy window, which grows by Tc
+// for every member because each member's routing message costs every other
+// router Tc seconds of processing.
+//
+// The package also provides round bookkeeping — "the largest cluster in the
+// current round of N routing messages" is the quantity plotted in the
+// paper's cluster graphs (Figs 6–8).
+package cluster
+
+import "sort"
+
+// Member pairs a router id with its timer-expiry time.
+type Member struct {
+	ID     int
+	Expiry float64
+}
+
+// Cluster is one synchronized group: the members whose expiries share a
+// busy window. Members are ordered by expiry time (first = cluster head,
+// the node that "breaks away from the head of the cluster" in §5.1 when
+// break-up occurs).
+type Cluster struct {
+	Members []Member
+	// Start is the first expiry (when the busy window opens).
+	Start float64
+	// End is Start + len(Members)·Tc (when all members reset timers).
+	End float64
+}
+
+// Size returns the number of members.
+func (c Cluster) Size() int { return len(c.Members) }
+
+// IDs returns the member router ids in expiry order.
+func (c Cluster) IDs() []int {
+	ids := make([]int, len(c.Members))
+	for i, m := range c.Members {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// Grow computes the cluster seeded by the earliest expiry in pending,
+// applying the fixed-point rule: sort expiries ascending; with k current
+// members and window [t, t+k·Tc), admit the next expiry iff it is
+// < t + k·Tc, which extends the window to t+(k+1)·Tc. pending must be
+// non-empty; Tc must be > 0 for any multi-member cluster to form (Tc = 0
+// yields only exact ties).
+//
+// Grow does not mutate pending.
+func Grow(pending []Member, tc float64) Cluster {
+	if len(pending) == 0 {
+		panic("cluster: Grow with no pending members")
+	}
+	sorted := append([]Member(nil), pending...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Expiry != sorted[j].Expiry {
+			return sorted[i].Expiry < sorted[j].Expiry
+		}
+		return sorted[i].ID < sorted[j].ID // deterministic tie-break
+	})
+	t := sorted[0].Expiry
+	k := 1
+	for k < len(sorted) {
+		if sorted[k].Expiry < t+float64(k)*tc || sorted[k].Expiry == t {
+			k++
+			continue
+		}
+		break
+	}
+	return Cluster{
+		Members: sorted[:k],
+		Start:   t,
+		End:     t + float64(k)*tc,
+	}
+}
+
+// Partition decomposes a full set of expiries into consecutive clusters by
+// repeatedly applying Grow to the earliest remaining members. It is used
+// for post-hoc analysis of a round's state (e.g. counting clusters, sizes).
+func Partition(pending []Member, tc float64) []Cluster {
+	rest := append([]Member(nil), pending...)
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].Expiry != rest[j].Expiry {
+			return rest[i].Expiry < rest[j].Expiry
+		}
+		return rest[i].ID < rest[j].ID
+	})
+	var out []Cluster
+	for len(rest) > 0 {
+		c := Grow(rest, tc)
+		out = append(out, c)
+		rest = rest[c.Size():]
+	}
+	return out
+}
+
+// Largest returns the maximum cluster size in a partition, or 0 for an
+// empty partition.
+func Largest(parts []Cluster) int {
+	best := 0
+	for _, c := range parts {
+		if c.Size() > best {
+			best = c.Size()
+		}
+	}
+	return best
+}
+
+// RoundTracker accumulates the largest cluster observed per round window.
+// The paper plots one point per "round" — roughly one Tp+Tc interval in
+// which each of the N routers transmits once.
+type RoundTracker struct {
+	window  float64
+	current int64 // current round index
+	largest int
+	times   []float64
+	sizes   []int
+	started bool
+}
+
+// NewRoundTracker creates a tracker with the given round window (usually
+// Tp + Tc).
+func NewRoundTracker(window float64) *RoundTracker {
+	if window <= 0 {
+		panic("cluster: round window must be positive")
+	}
+	return &RoundTracker{window: window}
+}
+
+// Observe records a cluster of the given size at time t. Observations must
+// arrive in nondecreasing time order.
+func (rt *RoundTracker) Observe(t float64, size int) {
+	idx := int64(t / rt.window)
+	if !rt.started {
+		rt.started = true
+		rt.current = idx
+		rt.largest = size
+		return
+	}
+	if idx != rt.current {
+		rt.flush()
+		rt.current = idx
+		rt.largest = size
+		return
+	}
+	if size > rt.largest {
+		rt.largest = size
+	}
+}
+
+func (rt *RoundTracker) flush() {
+	rt.times = append(rt.times, float64(rt.current)*rt.window)
+	rt.sizes = append(rt.sizes, rt.largest)
+}
+
+// Finish flushes the in-progress round and returns the (time, largest
+// cluster) series. The tracker may not be reused afterwards.
+func (rt *RoundTracker) Finish() (times []float64, sizes []int) {
+	if rt.started {
+		rt.flush()
+		rt.started = false
+	}
+	return rt.times, rt.sizes
+}

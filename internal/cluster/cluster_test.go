@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"routesync/internal/rng"
+)
+
+func TestGrowSingle(t *testing.T) {
+	c := Grow([]Member{{ID: 3, Expiry: 10}}, 0.11)
+	if c.Size() != 1 || c.Start != 10 || c.End != 10.11 {
+		t.Fatalf("Grow single = %+v", c)
+	}
+}
+
+func TestGrowPair(t *testing.T) {
+	// Paper §4 Figure 5 scenario: node B's timer expires while node A is
+	// still in its Tc busy period, so both join one cluster and reset at
+	// t + 2·Tc.
+	const tc = 0.11
+	c := Grow([]Member{
+		{ID: 0, Expiry: 100.00},
+		{ID: 1, Expiry: 100.05}, // inside [100, 100.11)
+		{ID: 2, Expiry: 140.00}, // far away
+	}, tc)
+	if c.Size() != 2 {
+		t.Fatalf("size = %d, want 2", c.Size())
+	}
+	if c.End != 100+2*tc {
+		t.Fatalf("End = %v, want %v", c.End, 100+2*tc)
+	}
+	if ids := c.IDs(); ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestGrowWindowExtension(t *testing.T) {
+	// The window grows by Tc per member: expiry at 100.15 is outside the
+	// one-member window [100, 100.11) but inside the two-member window
+	// [100, 100.22) once 100.05 has joined.
+	const tc = 0.11
+	c := Grow([]Member{
+		{ID: 0, Expiry: 100.00},
+		{ID: 1, Expiry: 100.05},
+		{ID: 2, Expiry: 100.15},
+		{ID: 3, Expiry: 100.30}, // inside three-member window [100, 100.33)
+		{ID: 4, Expiry: 100.45}, // outside four-member window [100, 100.44)
+	}, tc)
+	if c.Size() != 4 {
+		t.Fatalf("size = %d, want 4 (%+v)", c.Size(), c)
+	}
+}
+
+func TestGrowBoundaryExclusive(t *testing.T) {
+	// An expiry exactly at the window end does not join.
+	c := Grow([]Member{{ID: 0, Expiry: 0}, {ID: 1, Expiry: 0.11}}, 0.11)
+	if c.Size() != 1 {
+		t.Fatalf("boundary expiry joined: size = %d", c.Size())
+	}
+}
+
+func TestGrowZeroTcExactTies(t *testing.T) {
+	c := Grow([]Member{
+		{ID: 2, Expiry: 5}, {ID: 0, Expiry: 5}, {ID: 1, Expiry: 5.0001},
+	}, 0)
+	if c.Size() != 2 {
+		t.Fatalf("zero-Tc cluster size = %d, want 2 (exact ties only)", c.Size())
+	}
+	if ids := c.IDs(); ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("tie-break by ID failed: %v", ids)
+	}
+}
+
+func TestGrowPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Grow(empty) did not panic")
+		}
+	}()
+	Grow(nil, 0.1)
+}
+
+func TestGrowDoesNotMutateInput(t *testing.T) {
+	in := []Member{{ID: 1, Expiry: 9}, {ID: 0, Expiry: 3}}
+	Grow(in, 0.1)
+	if in[0].ID != 1 || in[1].ID != 0 {
+		t.Fatal("Grow mutated its input")
+	}
+}
+
+// TestGrowProperties: every member expiry lies in [Start, End); every
+// non-member expiry is >= the final window end; End-Start = size·Tc.
+func TestGrowProperties(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		tc := r.Uniform(0.01, 0.5)
+		n := 1 + r.Intn(40)
+		members := make([]Member, n)
+		for i := range members {
+			members[i] = Member{ID: i, Expiry: r.Uniform(0, 20)}
+		}
+		c := Grow(members, tc)
+		if d := (c.End - c.Start) - float64(c.Size())*tc; d > 1e-12 || d < -1e-12 {
+			return false
+		}
+		inCluster := make(map[int]bool)
+		for _, m := range c.Members {
+			inCluster[m.ID] = true
+			if m.Expiry < c.Start || m.Expiry >= c.End {
+				return false
+			}
+		}
+		for _, m := range members {
+			if !inCluster[m.ID] && m.Expiry < c.End && m.Expiry != c.Start {
+				// a non-member strictly inside the final window would
+				// violate the fixed point (== Start ties join, handled
+				// above via the membership map)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionCoversAll(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		tc := r.Uniform(0.01, 0.3)
+		n := 1 + r.Intn(50)
+		members := make([]Member, n)
+		for i := range members {
+			members[i] = Member{ID: i, Expiry: r.Uniform(0, 10)}
+		}
+		parts := Partition(members, tc)
+		total := 0
+		seen := make(map[int]bool)
+		for _, c := range parts {
+			total += c.Size()
+			for _, m := range c.Members {
+				if seen[m.ID] {
+					return false // duplicated member
+				}
+				seen[m.ID] = true
+			}
+		}
+		return total == n
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionOrdering(t *testing.T) {
+	members := []Member{
+		{ID: 0, Expiry: 0}, {ID: 1, Expiry: 0.05}, // cluster 1
+		{ID: 2, Expiry: 5},                                               // lone
+		{ID: 3, Expiry: 9}, {ID: 4, Expiry: 9.02}, {ID: 5, Expiry: 9.15}, // cluster 3
+	}
+	parts := Partition(members, 0.11)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	sizes := []int{parts[0].Size(), parts[1].Size(), parts[2].Size()}
+	if sizes[0] != 2 || sizes[1] != 1 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v, want [2 1 3]", sizes)
+	}
+	if Largest(parts) != 3 {
+		t.Fatalf("Largest = %d", Largest(parts))
+	}
+}
+
+func TestLargestEmpty(t *testing.T) {
+	if Largest(nil) != 0 {
+		t.Fatal("Largest(nil) != 0")
+	}
+}
+
+func TestRoundTracker(t *testing.T) {
+	rt := NewRoundTracker(10)
+	rt.Observe(1, 2)
+	rt.Observe(3, 5)
+	rt.Observe(9, 1)
+	rt.Observe(12, 4) // new round
+	rt.Observe(25, 7) // skips round 2... lands in round 2 (20-30)
+	times, sizes := rt.Finish()
+	if len(times) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(times))
+	}
+	if sizes[0] != 5 || sizes[1] != 4 || sizes[2] != 7 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if times[0] != 0 || times[1] != 10 || times[2] != 20 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestRoundTrackerEmpty(t *testing.T) {
+	rt := NewRoundTracker(5)
+	times, sizes := rt.Finish()
+	if len(times) != 0 || len(sizes) != 0 {
+		t.Fatal("empty tracker produced rounds")
+	}
+}
+
+func TestRoundTrackerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window did not panic")
+		}
+	}()
+	NewRoundTracker(0)
+}
+
+func BenchmarkGrow20(b *testing.B) {
+	r := rng.New(1)
+	members := make([]Member, 20)
+	for i := range members {
+		members[i] = Member{ID: i, Expiry: r.Uniform(0, 121)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Grow(members, 0.11)
+	}
+}

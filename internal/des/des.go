@@ -1,0 +1,250 @@
+// Package des provides a deterministic discrete-event simulation kernel:
+// a simulation clock, a binary-heap event queue with stable FIFO
+// tie-breaking, and cancellable timers.
+//
+// Every simulator in this repository — the Periodic Messages model in
+// internal/periodic and the packet-level network simulator in
+// internal/netsim — runs on this kernel. Determinism matters: given the
+// same seed and the same event program, a simulation must replay exactly,
+// so events scheduled for the same instant fire in scheduling order.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulation time in seconds. Using a named float64 keeps call
+// sites honest about units without the overhead of a struct.
+type Time = float64
+
+// Event is a scheduled callback. The zero Event is inert.
+type Event struct {
+	at    Time
+	seq   uint64 // insertion order; breaks ties deterministically
+	index int    // heap index, -1 when not queued
+	fn    func()
+	label string
+}
+
+// At returns the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Label returns the diagnostic label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+// Scheduled reports whether the event is still pending in its queue.
+func (e *Event) Scheduled() bool { return e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator owns a clock and an event queue. It is not safe for concurrent
+// use; a simulation is a single logical thread of control.
+type Simulator struct {
+	now       Time
+	queue     eventHeap
+	seq       uint64
+	processed uint64
+	running   bool
+	stopped   bool
+}
+
+// New returns a Simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Schedule queues fn to run at absolute time at. It panics if at precedes
+// the current clock (scheduling into the past is always a bug) or is NaN.
+// The label is kept for diagnostics and error messages.
+func (s *Simulator) Schedule(at Time, label string, fn func()) *Event {
+	if math.IsNaN(at) {
+		panic("des: Schedule with NaN time")
+	}
+	if at < s.now {
+		panic(fmt.Sprintf("des: Schedule(%q) at %v before now %v", label, at, s.now))
+	}
+	if fn == nil {
+		panic("des: Schedule with nil fn")
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn, label: label}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After queues fn to run delay seconds from now. Negative delays panic.
+func (s *Simulator) After(delay Time, label string, fn func()) *Event {
+	return s.Schedule(s.now+delay, label, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired or was already cancelled is a no-op and returns false.
+func (s *Simulator) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, e.index)
+	return true
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It returns false when the queue is empty.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.at
+	s.processed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the number of events processed by this call.
+func (s *Simulator) Run() uint64 {
+	return s.RunUntil(math.Inf(1))
+}
+
+// RunUntil executes events with timestamps <= horizon (or until Stop or an
+// empty queue) and then advances the clock to min(horizon, next event time).
+// It returns the number of events processed by this call.
+func (s *Simulator) RunUntil(horizon Time) uint64 {
+	if s.running {
+		panic("des: RunUntil re-entered from within an event")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	var n uint64
+	for len(s.queue) > 0 && !s.stopped {
+		if s.queue[0].at > horizon {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if !s.stopped && !math.IsInf(horizon, 1) && s.now < horizon {
+		// Advance the clock to the horizon so repeated RunUntil calls
+		// observe monotonic time even across idle gaps.
+		s.now = horizon
+	}
+	return n
+}
+
+// RunCount executes at most n events. It returns the number processed,
+// which is less than n only if the queue drained or Stop was called.
+func (s *Simulator) RunCount(n uint64) uint64 {
+	if s.running {
+		panic("des: RunCount re-entered from within an event")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+	var done uint64
+	for done < n && len(s.queue) > 0 && !s.stopped {
+		s.Step()
+		done++
+	}
+	return done
+}
+
+// Stop halts the enclosing Run/RunUntil/RunCount after the current event
+// returns. Calling Stop outside an event is harmless.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Ticker schedules fn repeatedly. The next interval is obtained from the
+// period callback after each firing, which is how jittered routing timers
+// are expressed (the period callback draws from the jitter policy).
+type Ticker struct {
+	sim    *Simulator
+	event  *Event
+	period func() Time
+	fn     func()
+	label  string
+	stopit bool
+}
+
+// NewTicker creates and starts a ticker whose first firing is period() from
+// now and which re-arms itself with a fresh period() after each firing.
+func (s *Simulator) NewTicker(label string, period func() Time, fn func()) *Ticker {
+	t := &Ticker{sim: s, period: period, fn: fn, label: label}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	d := t.period()
+	if d < 0 {
+		panic("des: ticker period() returned negative delay")
+	}
+	t.event = t.sim.After(d, t.label, func() {
+		t.fn()
+		if !t.stopit {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. If called from within fn it prevents the
+// re-arm; otherwise it cancels the pending event.
+func (t *Ticker) Stop() {
+	t.stopit = true
+	t.sim.Cancel(t.event)
+}
+
+// Reset cancels the pending firing and re-arms with a fresh period() from
+// the current instant. This models a router resetting its routing timer.
+func (t *Ticker) Reset() {
+	t.sim.Cancel(t.event)
+	t.stopit = false
+	t.arm()
+}
+
+// NextAt returns the absolute time of the pending firing, or +Inf if the
+// ticker is stopped.
+func (t *Ticker) NextAt() Time {
+	if t.event == nil || !t.event.Scheduled() {
+		return math.Inf(1)
+	}
+	return t.event.At()
+}

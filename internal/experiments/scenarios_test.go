@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtClientServerContrast(t *testing.T) {
+	r := ExtClientServer(20, 1)
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(r.Series))
+	}
+	tight, jittered := r.Series[0], r.Series[1]
+	// After the outage (t > 200) the tight-timer population is coherent
+	// and the jittered one is not.
+	tightLate, jitteredLate := 0.0, 0.0
+	n := 0
+	for i := 0; i < tight.Len(); i++ {
+		if tight.X[i] > 400 {
+			tightLate += tight.Y[i]
+			jitteredLate += jittered.Y[i]
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no late samples")
+	}
+	tightLate /= float64(n)
+	jitteredLate /= float64(n)
+	if tightLate < 0.9 {
+		t.Fatalf("tight-timer coherence after outage = %v, want ~1", tightLate)
+	}
+	if jitteredLate > 0.5 {
+		t.Fatalf("jittered coherence after outage = %v, want low", jitteredLate)
+	}
+}
+
+func TestExtExternalClockGulf(t *testing.T) {
+	r := ExtExternalClock(1)
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	found := false
+	for _, note := range r.Notes {
+		if strings.Contains(note, "peak-to-mean") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notes = %v", r.Notes)
+	}
+	// The clocked histogram's peak dwarfs the uniform one's.
+	peak := func(i int) float64 {
+		_, hi := r.Series[i].YRange()
+		return hi
+	}
+	if peak(0) < 4*peak(1) {
+		t.Fatalf("clocked peak %v not ≫ uniform peak %v", peak(0), peak(1))
+	}
+}

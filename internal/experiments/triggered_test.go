@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestExtTriggeredJitterAbsorbsStorms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long storm simulation")
+	}
+	r := ExtTriggered([]float64{1, 4}, 1e6, 1)
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	moderate, strong := r.Series[0], r.Series[1]
+	// With moderate jitter (2.8·Tc, break-up ~1.4 days) a daily event
+	// keeps the network synchronized a large fraction of the time.
+	if moderate.Y[0] < 0.3 {
+		t.Fatalf("moderate jitter at 1 event/day: %v, want substantial sync", moderate.Y[0])
+	}
+	// With the recommended 10·Tc the same storm leaves almost no
+	// synchronized time.
+	for i, y := range strong.Y {
+		if y > 0.1 {
+			t.Fatalf("strong jitter point %d: %v, want < 0.1", i, y)
+		}
+	}
+	// More events → more synchronized time, for the moderate case.
+	if moderate.Y[1] < moderate.Y[0] {
+		t.Fatalf("sync fraction should grow with event rate: %v", moderate.Y)
+	}
+}

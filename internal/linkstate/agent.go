@@ -1,0 +1,417 @@
+package linkstate
+
+import (
+	"fmt"
+	"sort"
+
+	"routesync/internal/des"
+	"routesync/internal/jitter"
+	"routesync/internal/netsim"
+	"routesync/internal/rng"
+)
+
+// Config assembles a link-state agent.
+type Config struct {
+	// RefreshPeriod is the LSA re-origination interval Tp in seconds
+	// (OSPF: 1800; the experiments use shorter periods to keep
+	// simulations tractable — the dynamics scale with Tp).
+	RefreshPeriod float64
+	// Jitter yields refresh intervals; nil means the deterministic
+	// period.
+	Jitter jitter.Policy
+	// PrepareCost / ProcessCost are seconds of CPU to originate and to
+	// handle one LSA (flooding work).
+	PrepareCost float64
+	ProcessCost float64
+	// MaxAgeFactor: LSAs unrefreshed for MaxAgeFactor·RefreshPeriod are
+	// withdrawn from the database (OSPF MaxAge); zero means 4.
+	MaxAgeFactor float64
+	// Seed drives the agent's jitter stream.
+	Seed int64
+}
+
+// Stats counts agent activity.
+type Stats struct {
+	Originated uint64
+	Received   uint64
+	Flooded    uint64
+	Malformed  uint64
+	SPFRuns    uint64
+	AgedOut    uint64
+}
+
+type lsdbEntry struct {
+	lsa     LSA
+	updated float64
+}
+
+// Agent is one router's link-state process.
+type Agent struct {
+	node *netsim.Node
+	cfg  Config
+	r    *rng.Source
+
+	lsdb    map[netsim.NodeID]lsdbEntry
+	seq     uint32
+	timerEv *des.Event
+	stats   Stats
+	stopped bool
+
+	// OnSend, if set, observes every LSA origination (for cluster
+	// detection in experiments).
+	OnSend func(t float64)
+}
+
+// NewAgent creates an agent on node. Call Start to begin originating.
+func NewAgent(node *netsim.Node, cfg Config) *Agent {
+	if cfg.RefreshPeriod <= 0 {
+		panic("linkstate: refresh period must be positive")
+	}
+	if cfg.PrepareCost < 0 || cfg.ProcessCost < 0 {
+		panic("linkstate: negative costs")
+	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = jitter.None{Tp: cfg.RefreshPeriod}
+	}
+	if cfg.MaxAgeFactor == 0 {
+		cfg.MaxAgeFactor = 4
+	}
+	a := &Agent{
+		node: node,
+		cfg:  cfg,
+		r:    rng.New(cfg.Seed ^ int64(node.ID)*0x5DEECE66D),
+		lsdb: make(map[netsim.NodeID]lsdbEntry),
+	}
+	node.OnRouting = a.receive
+	return a
+}
+
+// Node returns the agent's node.
+func (a *Agent) Node() *netsim.Node { return a.node }
+
+// Stats returns a snapshot of the counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// Stop halts origination and processing; the LSDB is left for inspection.
+func (a *Agent) Stop() {
+	a.stopped = true
+	if a.timerEv != nil {
+		a.node.Net().Sim.Cancel(a.timerEv)
+		a.timerEv = nil
+	}
+	a.node.OnRouting = nil
+}
+
+// neighbors lists the adjacent node ids over all attached media, sorted.
+func (a *Agent) neighbors() []netsim.NodeID {
+	seen := map[netsim.NodeID]bool{}
+	for _, m := range a.node.Media() {
+		switch t := m.(type) {
+		case *netsim.Link:
+			if !t.Down() {
+				seen[t.Peer(a.node).ID] = true
+			}
+		case *netsim.LAN:
+			for _, member := range t.Members() {
+				if member != a.node {
+					seen[member.ID] = true
+				}
+			}
+		}
+	}
+	out := make([]netsim.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Start arms the first refresh to fire startOffset seconds from now.
+func (a *Agent) Start(startOffset float64) {
+	if startOffset < 0 {
+		panic("linkstate: negative start offset")
+	}
+	sim := a.node.Net().Sim
+	a.timerEv = sim.Schedule(sim.Now()+startOffset,
+		fmt.Sprintf("lsa-refresh(%s)", a.node.Name), a.onTimer)
+	a.scheduleSweep()
+}
+
+func (a *Agent) onTimer() {
+	if a.stopped {
+		return
+	}
+	a.originate()
+}
+
+// originate builds, installs and floods the router's own LSA, then
+// re-arms the refresh timer after the CPU drains — the paper's coupled
+// reset discipline carried over to link-state refreshes.
+func (a *Agent) originate() {
+	a.seq++
+	lsa := LSA{Origin: a.node.ID, Seq: a.seq, Neighbors: a.neighbors()}
+	now := a.node.Net().Sim.Now()
+	a.lsdb[a.node.ID] = lsdbEntry{lsa: lsa, updated: now}
+	a.flood(lsa, nil)
+	a.recompute()
+	a.stats.Originated++
+	if a.OnSend != nil {
+		a.OnSend(now)
+	}
+	after := a.rearmWhenIdle
+	if a.node.CPU != nil && a.cfg.PrepareCost > 0 {
+		a.node.CPU.OccupyThen(a.cfg.PrepareCost, after)
+		return
+	}
+	after()
+}
+
+func (a *Agent) rearmWhenIdle() {
+	if a.stopped {
+		return
+	}
+	sim := a.node.Net().Sim
+	if a.node.CPU != nil && a.node.CPU.Busy() {
+		sim.Schedule(a.node.CPU.BusyUntil(), "lsa-rearm-wait", a.rearmWhenIdle)
+		return
+	}
+	if a.timerEv != nil {
+		sim.Cancel(a.timerEv)
+	}
+	delay := a.cfg.Jitter.Delay(a.r, int(a.node.ID))
+	a.timerEv = sim.Schedule(sim.Now()+delay,
+		fmt.Sprintf("lsa-refresh(%s)", a.node.Name), a.onTimer)
+}
+
+// flood transmits an LSA on every medium except the one it arrived on.
+func (a *Agent) flood(lsa LSA, except netsim.Medium) {
+	payload, err := Encode(lsa)
+	if err != nil {
+		panic(err) // own adjacency lists are bounded by the topology
+	}
+	net := a.node.Net()
+	for _, m := range a.node.Media() {
+		if m == except {
+			continue
+		}
+		pkt := net.NewPacket(netsim.KindRouting, a.node.ID, netsim.Broadcast, 28+len(payload))
+		pkt.Payload = payload
+		a.node.SendOn(m, netsim.Broadcast, pkt)
+		a.stats.Flooded++
+	}
+}
+
+// receive handles an incoming LSA: CPU cost, dedup by sequence number,
+// store + re-flood + SPF when new.
+func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
+	lsa, err := Decode(pkt.Payload)
+	if err != nil {
+		a.stats.Malformed++
+		return
+	}
+	a.stats.Received++
+	work := func() { a.integrate(lsa, via) }
+	if a.node.CPU != nil && a.cfg.ProcessCost > 0 {
+		a.node.CPU.OccupyThen(a.cfg.ProcessCost, work)
+		return
+	}
+	work()
+}
+
+func (a *Agent) integrate(lsa LSA, via netsim.Medium) {
+	if a.stopped {
+		return
+	}
+	if lsa.Origin == a.node.ID {
+		return // our own LSA echoed back
+	}
+	now := a.node.Net().Sim.Now()
+	cur, ok := a.lsdb[lsa.Origin]
+	if ok && lsa.Seq <= cur.lsa.Seq {
+		// Stale or duplicate: refresh the age on an exact duplicate (the
+		// origin is alive), never re-flood.
+		if lsa.Seq == cur.lsa.Seq {
+			cur.updated = now
+			a.lsdb[lsa.Origin] = cur
+		}
+		return
+	}
+	a.lsdb[lsa.Origin] = lsdbEntry{lsa: lsa, updated: now}
+	a.flood(lsa, via)
+	a.recompute()
+}
+
+// LSDB returns the database origins currently held, sorted.
+func (a *Agent) LSDB() []LSA {
+	out := make([]LSA, 0, len(a.lsdb))
+	for _, e := range a.lsdb {
+		out = append(out, e.lsa)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// Distance returns the computed hop distance to dest, or -1 if
+// unreachable in the current LSDB.
+func (a *Agent) Distance(dest netsim.NodeID) int {
+	dist := a.spf()
+	d, ok := dist[dest]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// spf runs BFS over the LSDB adjacency (uniform link cost). Links are
+// used only when both endpoints agree (bidirectional check, as in OSPF).
+func (a *Agent) spf() map[netsim.NodeID]int {
+	adj := func(id netsim.NodeID) []netsim.NodeID {
+		if id == a.node.ID {
+			return a.neighbors()
+		}
+		if e, ok := a.lsdb[id]; ok {
+			return e.lsa.Neighbors
+		}
+		return nil
+	}
+	claims := func(id, nb netsim.NodeID) bool {
+		for _, x := range adj(id) {
+			if x == nb {
+				return true
+			}
+		}
+		return false
+	}
+	dist := map[netsim.NodeID]int{a.node.ID: 0}
+	queue := []netsim.NodeID{a.node.ID}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj(cur) {
+			if _, seen := dist[nb]; seen {
+				continue
+			}
+			if !claims(nb, cur) {
+				continue // one-sided adjacency: not yet confirmed
+			}
+			dist[nb] = dist[cur] + 1
+			queue = append(queue, nb)
+		}
+	}
+	return dist
+}
+
+// recompute reruns SPF and programs the node FIB with first hops. Like
+// spf, an adjacency is used only when both endpoints advertise it (the
+// OSPF bidirectional check), so stale one-sided claims — e.g. a live
+// neighbor still listing a dead router whose own LSA has aged out —
+// never install routes.
+func (a *Agent) recompute() {
+	a.stats.SPFRuns++
+	adj := func(id netsim.NodeID) []netsim.NodeID {
+		if id == a.node.ID {
+			return a.neighbors()
+		}
+		if e, ok := a.lsdb[id]; ok {
+			return e.lsa.Neighbors
+		}
+		return nil
+	}
+	claims := func(id, nb netsim.NodeID) bool {
+		for _, x := range adj(id) {
+			if x == nb {
+				return true
+			}
+		}
+		return false
+	}
+	type qe struct {
+		id    netsim.NodeID
+		first netsim.NodeID
+	}
+	visited := map[netsim.NodeID]bool{a.node.ID: true}
+	var queue []qe
+	for _, nb := range adj(a.node.ID) {
+		if !claims(nb, a.node.ID) {
+			continue
+		}
+		visited[nb] = true
+		queue = append(queue, qe{id: nb, first: nb})
+		a.installRoute(nb, nb)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj(cur.id) {
+			if visited[nb] || !claims(nb, cur.id) {
+				continue
+			}
+			visited[nb] = true
+			a.installRoute(nb, cur.first)
+			queue = append(queue, qe{id: nb, first: cur.first})
+		}
+	}
+	// Withdraw FIB entries that SPF no longer reaches.
+	for dest := range a.node.FIB {
+		if !visited[dest] {
+			delete(a.node.FIB, dest)
+		}
+	}
+}
+
+// installRoute programs dest via the medium that reaches firstHop.
+func (a *Agent) installRoute(dest, firstHop netsim.NodeID) {
+	for _, m := range a.node.Media() {
+		switch t := m.(type) {
+		case *netsim.Link:
+			if !t.Down() && t.Peer(a.node).ID == firstHop {
+				a.node.SetRoute(dest, m, firstHop)
+				return
+			}
+		case *netsim.LAN:
+			for _, member := range t.Members() {
+				if member.ID == firstHop {
+					a.node.SetRoute(dest, m, firstHop)
+					return
+				}
+			}
+		}
+	}
+}
+
+// scheduleSweep ages the database: entries unrefreshed past MaxAge are
+// withdrawn and routes recomputed.
+func (a *Agent) scheduleSweep() {
+	if a.stopped {
+		return
+	}
+	sim := a.node.Net().Sim
+	sim.Schedule(sim.Now()+a.cfg.RefreshPeriod, "lsa-sweep", func() {
+		if a.stopped {
+			return
+		}
+		a.sweep()
+		a.scheduleSweep()
+	})
+}
+
+func (a *Agent) sweep() {
+	now := a.node.Net().Sim.Now()
+	maxAge := a.cfg.MaxAgeFactor * a.cfg.RefreshPeriod
+	changed := false
+	for origin, e := range a.lsdb {
+		if origin == a.node.ID {
+			continue
+		}
+		if now-e.updated > maxAge {
+			delete(a.lsdb, origin)
+			delete(a.node.FIB, origin)
+			a.stats.AgedOut++
+			changed = true
+		}
+	}
+	if changed {
+		a.recompute() // also withdraws FIB entries SPF no longer reaches
+	}
+}

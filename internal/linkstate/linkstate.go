@@ -1,0 +1,98 @@
+// Package linkstate implements a small link-state routing protocol on the
+// netsim substrate: periodic link-state advertisement (LSA) origination,
+// sequence-numbered flooding, a link-state database, and shortest-path
+// (hop count) route computation.
+//
+// The paper studies distance-vector protocols, but its §1 warning is
+// protocol-agnostic: any periodic message source with processing-coupled
+// timers can synchronize. Link-state protocols refresh their LSAs
+// periodically (OSPF's LSRefreshTime is 30 minutes), and an
+// implementation that re-arms the refresh timer only after the CPU
+// finishes flooding work has exactly the paper's weak coupling. The
+// ExtLinkState experiment shows the same phase transition on this
+// protocol; the package otherwise stands on its own as a second,
+// independent routing-protocol family for the simulator.
+package linkstate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"routesync/internal/netsim"
+)
+
+// Wire format constants.
+const (
+	magic     = 0x4C53 // "LS"
+	version   = 1
+	headerLen = 16
+	neighLen  = 4
+)
+
+// MaxNeighbors bounds an LSA's adjacency list.
+const MaxNeighbors = 1024
+
+// LSA is one router's link-state advertisement: its identity, a
+// monotonically increasing sequence number, and its adjacency list.
+type LSA struct {
+	Origin    netsim.NodeID
+	Seq       uint32
+	Neighbors []netsim.NodeID
+}
+
+// Errors returned by Decode.
+var (
+	ErrTruncated  = errors.New("linkstate: truncated LSA")
+	ErrBadMagic   = errors.New("linkstate: bad magic")
+	ErrBadVersion = errors.New("linkstate: unsupported version")
+	ErrTooMany    = errors.New("linkstate: too many neighbors")
+)
+
+// Encode serializes an LSA big-endian:
+//
+//	uint16 magic | uint8 version | uint8 reserved | uint32 origin |
+//	uint32 seq | uint16 count | uint16 reserved | count × uint32 neighbor
+func Encode(l LSA) ([]byte, error) {
+	if len(l.Neighbors) > MaxNeighbors {
+		return nil, fmt.Errorf("%w: %d", ErrTooMany, len(l.Neighbors))
+	}
+	buf := make([]byte, headerLen+neighLen*len(l.Neighbors))
+	binary.BigEndian.PutUint16(buf[0:], magic)
+	buf[2] = version
+	binary.BigEndian.PutUint32(buf[4:], uint32(l.Origin))
+	binary.BigEndian.PutUint32(buf[8:], l.Seq)
+	binary.BigEndian.PutUint16(buf[12:], uint16(len(l.Neighbors)))
+	for i, nb := range l.Neighbors {
+		binary.BigEndian.PutUint32(buf[headerLen+neighLen*i:], uint32(nb))
+	}
+	return buf, nil
+}
+
+// Decode parses a wire LSA, validating magic, version and length.
+func Decode(buf []byte) (LSA, error) {
+	var l LSA
+	if len(buf) < headerLen {
+		return l, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != magic {
+		return l, ErrBadMagic
+	}
+	if buf[2] != version {
+		return l, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	l.Origin = netsim.NodeID(binary.BigEndian.Uint32(buf[4:]))
+	l.Seq = binary.BigEndian.Uint32(buf[8:])
+	count := int(binary.BigEndian.Uint16(buf[12:]))
+	if len(buf) < headerLen+neighLen*count {
+		return l, ErrTruncated
+	}
+	l.Neighbors = make([]netsim.NodeID, count)
+	for i := range l.Neighbors {
+		l.Neighbors[i] = netsim.NodeID(binary.BigEndian.Uint32(buf[headerLen+neighLen*i:]))
+	}
+	return l, nil
+}
+
+// WireSize returns the encoded length for n neighbors.
+func WireSize(n int) int { return headerLen + neighLen*n }

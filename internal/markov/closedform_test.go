@@ -1,0 +1,110 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"routesync/internal/rng"
+)
+
+func TestClosedFormFMatchesRecursion(t *testing.T) {
+	for _, tr := range []float64{0.07, 0.1, 0.2, 0.3, 0.32} {
+		c := mustNew(t, paperParams(tr))
+		f, cf := c.F(), c.ClosedFormF()
+		for i := 1; i <= 20; i++ {
+			if relDiff(f[i], cf[i]) > 1e-9 {
+				t.Fatalf("Tr=%v: ClosedFormF(%d)=%v, F=%v", tr, i, cf[i], f[i])
+			}
+		}
+	}
+}
+
+func TestClosedFormGMatchesRecursion(t *testing.T) {
+	for _, tr := range []float64{0.1, 0.2, 0.3, 0.44} {
+		c := mustNew(t, paperParams(tr))
+		g, cg := c.G(), c.ClosedFormG()
+		for i := 1; i <= 20; i++ {
+			if relDiff(g[i], cg[i]) > 1e-9 {
+				t.Fatalf("Tr=%v: ClosedFormG(%d)=%v, G=%v", tr, i, cg[i], g[i])
+			}
+		}
+	}
+}
+
+func TestClosedFormInfinities(t *testing.T) {
+	// Growth impossible beyond the drift cutoff: both forms agree on +Inf.
+	c := mustNew(t, paperParams(3.3*0.11))
+	f, cf := c.F(), c.ClosedFormF()
+	for i := 1; i <= 20; i++ {
+		if math.IsInf(f[i], 1) != math.IsInf(cf[i], 1) {
+			t.Fatalf("infinity mismatch at %d: %v vs %v", i, f[i], cf[i])
+		}
+	}
+	// Break-up impossible below Tc/2: g infinite in both forms.
+	c2 := mustNew(t, paperParams(0.05))
+	g, cg := c2.G(), c2.ClosedFormG()
+	for i := 1; i < 20; i++ {
+		if !math.IsInf(g[i], 1) || !math.IsInf(cg[i], 1) {
+			t.Fatalf("expected +Inf g(%d): %v vs %v", i, g[i], cg[i])
+		}
+	}
+}
+
+// TestClosedFormProperty: agreement across random parameters.
+func TestClosedFormProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		p := Params{
+			N:  3 + r.Intn(40),
+			Tp: r.Uniform(20, 300),
+			Tr: r.Uniform(0.01, 1.5),
+			Tc: r.Uniform(0.01, 0.4),
+			F2: r.Uniform(1, 100),
+		}
+		c, err := New(p)
+		if err != nil {
+			return false
+		}
+		f, cf := c.F(), c.ClosedFormF()
+		g, cg := c.G(), c.ClosedFormG()
+		for i := 1; i <= p.N; i++ {
+			if relDiff(f[i], cf[i]) > 1e-6 || relDiff(g[i], cg[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogAdd(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{math.Log(2), math.Log(3), math.Log(5)},
+		{math.Inf(-1), math.Log(7), math.Log(7)},
+		{math.Log(7), math.Inf(-1), math.Log(7)},
+		{700, 700, 700 + math.Log(2)}, // would overflow exp()
+	}
+	for _, c := range cases {
+		if got := logAdd(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("logAdd(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestClosedFormSurvivesExtremeProducts: a parameter point where the
+// direct product Π q/p overflows float64 but the log-space form stays
+// finite and agrees with the (also overflow-prone) recursion when that
+// recursion is finite.
+func TestClosedFormSurvivesExtremeProducts(t *testing.T) {
+	// Large N with strongly down-biased middle states.
+	c := mustNew(t, Params{N: 40, Tp: 400, Tr: 0.3, Tc: 0.11, F2: 19})
+	cf := c.ClosedFormF()
+	f := c.F()
+	for i := 1; i <= 40; i++ {
+		if relDiff(f[i], cf[i]) > 1e-6 {
+			t.Fatalf("disagreement at %d: %v vs %v", i, f[i], cf[i])
+		}
+	}
+}

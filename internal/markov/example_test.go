@@ -1,0 +1,33 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"routesync/internal/markov"
+)
+
+// ExampleChain_FractionUnsynchronized evaluates the paper's Figure 14
+// question — what fraction of its life does a network spend
+// unsynchronized? — on either side of the phase transition.
+func ExampleChain_FractionUnsynchronized() {
+	for _, tr := range []float64{0.11, 0.33} { // 1·Tc and 3·Tc
+		ch, err := markov.New(markov.Params{N: 20, Tp: 121, Tr: tr, Tc: 0.11})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("Tr = %.2f s: fraction unsynchronized %.2f\n",
+			tr, ch.FractionUnsynchronized())
+	}
+	// Output:
+	// Tr = 0.11 s: fraction unsynchronized 0.00
+	// Tr = 0.33 s: fraction unsynchronized 1.00
+}
+
+// ExampleCriticalTr locates the transition threshold for the paper's
+// parameters.
+func ExampleCriticalTr() {
+	tr, ok := markov.CriticalTr(20, 121, 0.11, 0)
+	fmt.Printf("found=%v threshold=%.2f s (%.1f x Tc)\n", ok, tr, tr/0.11)
+	// Output:
+	// found=true threshold=0.21 s (1.9 x Tc)
+}

@@ -1,0 +1,145 @@
+package netsim
+
+// CPUMode selects how a busy router CPU treats the forwarding path.
+type CPUMode int
+
+const (
+	// CPUModeLegacy stalls forwarding while the CPU is occupied with
+	// routing-update work — the pre-fix NEARnet behaviour that caused the
+	// paper's Figure 1 losses. Arriving data packets wait in a bounded
+	// input queue; overflow is dropped.
+	CPUModeLegacy CPUMode = iota
+	// CPUModeFixed lets forwarding proceed during update processing —
+	// the post-fix router software ("the router software has been
+	// changed so that normal packet routing can be carried out while the
+	// routers are dealing with routing update messages", §2).
+	CPUModeFixed
+)
+
+// String returns the mode name.
+func (m CPUMode) String() string {
+	switch m {
+	case CPUModeLegacy:
+		return "legacy"
+	case CPUModeFixed:
+		return "fixed"
+	default:
+		return "unknown"
+	}
+}
+
+// CPUConfig parameterizes a router CPU.
+type CPUConfig struct {
+	// Mode selects the forwarding interaction; the zero value is Legacy.
+	Mode CPUMode
+	// InputQueueCap bounds the packets held while the CPU blocks
+	// forwarding (Legacy mode). Zero means no buffering: every packet
+	// arriving during a busy period is dropped.
+	InputQueueCap int
+	// ForwardCost is seconds of CPU per forwarded packet (Legacy mode).
+	// Zero means forwarding is free once the CPU is idle. A non-zero
+	// cost makes queued packets drain serially after a routing-update
+	// stall, producing the RTT ramps visible in the paper's Figure 1
+	// alongside the outright drops.
+	ForwardCost float64
+}
+
+// CPU models the router processor: routing-update work occupies it for
+// real simulated time, serialized FIFO.
+type CPU struct {
+	node      *Node
+	cfg       CPUConfig
+	busyUntil float64
+	queue     []*Packet
+	// TotalBusy accumulates occupied seconds, for utilization reports.
+	TotalBusy float64
+}
+
+func newCPU(nd *Node, cfg CPUConfig) *CPU {
+	if cfg.InputQueueCap < 0 {
+		panic("netsim: negative input queue capacity")
+	}
+	if cfg.ForwardCost < 0 {
+		panic("netsim: negative forward cost")
+	}
+	return &CPU{node: nd, cfg: cfg}
+}
+
+// Config returns the CPU configuration.
+func (c *CPU) Config() CPUConfig { return c.cfg }
+
+// Busy reports whether the CPU is currently occupied.
+func (c *CPU) Busy() bool { return c.busyUntil > c.node.net.Sim.Now() }
+
+// BusyUntil returns the time the current work backlog completes.
+func (c *CPU) BusyUntil() float64 { return c.busyUntil }
+
+// BlocksForwarding reports whether data packets arriving now would stall.
+func (c *CPU) BlocksForwarding() bool {
+	return c.cfg.Mode == CPUModeLegacy && c.Busy()
+}
+
+// Occupy appends d seconds of work to the CPU's FIFO backlog and returns
+// the absolute time this work item completes. Negative d panics.
+func (c *CPU) Occupy(d float64) float64 {
+	if d < 0 {
+		panic("netsim: negative CPU occupancy")
+	}
+	now := c.node.net.Sim.Now()
+	if c.busyUntil < now {
+		c.busyUntil = now
+	}
+	c.busyUntil += d
+	c.TotalBusy += d
+	done := c.busyUntil
+	// Schedule a drain at this work item's completion; the drain is a
+	// no-op if further work arrived in the meantime (a later drain will
+	// handle the queue).
+	c.node.net.Sim.Schedule(done, "cpu-drain", c.drain)
+	return done
+}
+
+// OccupyThen is Occupy plus a completion callback, used by routing agents
+// to re-arm their timers only after their processing finishes (the
+// paper's §3 step 3 coupling).
+func (c *CPU) OccupyThen(d float64, fn func()) {
+	done := c.Occupy(d)
+	c.node.net.Sim.Schedule(done, "cpu-work-done", fn)
+}
+
+// enqueueOrDrop buffers a data packet that arrived while forwarding is
+// stalled, dropping on overflow.
+func (c *CPU) enqueueOrDrop(pkt *Packet) {
+	if len(c.queue) >= c.cfg.InputQueueCap {
+		c.node.dropHere(pkt, DropCPUBusy)
+		return
+	}
+	c.queue = append(c.queue, pkt)
+}
+
+// drain dispatches buffered packets once the CPU becomes idle. With a
+// zero ForwardCost the whole queue flushes instantly; otherwise each
+// packet consumes CPU and the queue drains serially (and a routing
+// update arriving mid-drain stalls it again).
+func (c *CPU) drain() {
+	if c.Busy() {
+		return // more work arrived; its own drain will run later
+	}
+	if c.cfg.ForwardCost == 0 {
+		q := c.queue
+		c.queue = nil
+		for _, pkt := range q {
+			c.node.dispatch(pkt)
+		}
+		return
+	}
+	if len(c.queue) == 0 {
+		return
+	}
+	pkt := c.queue[0]
+	c.queue = c.queue[1:]
+	c.OccupyThen(c.cfg.ForwardCost, func() {
+		c.node.dispatch(pkt)
+		c.drain()
+	})
+}

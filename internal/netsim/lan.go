@@ -1,0 +1,129 @@
+package netsim
+
+import "fmt"
+
+// LANConfig parameterizes a broadcast segment.
+type LANConfig struct {
+	// Delay is the propagation time from any sender to any receiver.
+	Delay float64
+	// Bandwidth is the per-sender serialization rate in bits/s; 0 means
+	// infinite. (The paper's model assumes zero transmission time and
+	// ignores collisions; so does this LAN — it is an idealized Ethernet.)
+	Bandwidth float64
+	// QueueCap bounds each member's output queue; 0 uses DefaultQueueCap.
+	QueueCap int
+}
+
+type lanFrame struct {
+	pkt *Packet
+	to  NodeID
+}
+
+type lanTx struct {
+	busy  bool
+	queue []lanFrame
+}
+
+// LAN is an idealized broadcast segment (an Ethernet without collisions):
+// a frame transmitted by one member is received by the addressed member,
+// or by every other member for Broadcast frames. Each member has its own
+// transmitter and drop-tail output queue.
+type LAN struct {
+	net     *Network
+	cfg     LANConfig
+	members []*Node
+	tx      map[NodeID]*lanTx
+}
+
+// NewLAN creates a broadcast segment over the given members (at least 2).
+func (n *Network) NewLAN(members []*Node, cfg LANConfig) *LAN {
+	if len(members) < 2 {
+		panic("netsim: a LAN needs at least two members")
+	}
+	if cfg.Delay < 0 || cfg.Bandwidth < 0 || cfg.QueueCap < 0 {
+		panic("netsim: invalid LAN config")
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	l := &LAN{net: n, cfg: cfg, members: append([]*Node(nil), members...), tx: make(map[NodeID]*lanTx)}
+	for _, m := range l.members {
+		if _, dup := l.tx[m.ID]; dup {
+			panic(fmt.Sprintf("netsim: node %v attached to LAN twice", m))
+		}
+		l.tx[m.ID] = &lanTx{}
+		m.attachMedium(l)
+	}
+	return l
+}
+
+// Members returns the attached nodes.
+func (l *LAN) Members() []*Node { return append([]*Node(nil), l.members...) }
+
+// Config returns the LAN configuration.
+func (l *LAN) Config() LANConfig { return l.cfg }
+
+// Transmit implements Medium: unicast to the member with id `to`, or to
+// every other member when to == Broadcast. Unknown unicast destinations
+// are dropped as no-route.
+func (l *LAN) Transmit(pkt *Packet, from *Node, to NodeID) {
+	st, ok := l.tx[from.ID]
+	if !ok {
+		panic(fmt.Sprintf("netsim: %v is not attached to this LAN", from))
+	}
+	if st.busy {
+		if len(st.queue) >= l.cfg.QueueCap {
+			l.net.drop(pkt, DropQueueOverflow)
+			return
+		}
+		st.queue = append(st.queue, lanFrame{pkt: pkt, to: to})
+		return
+	}
+	l.startTx(from, st, lanFrame{pkt: pkt, to: to})
+}
+
+func (l *LAN) serialization(pkt *Packet) float64 {
+	if l.cfg.Bandwidth == 0 {
+		return 0
+	}
+	return float64(pkt.Size*8) / l.cfg.Bandwidth
+}
+
+func (l *LAN) startTx(from *Node, st *lanTx, fr lanFrame) {
+	st.busy = true
+	ser := l.serialization(fr.pkt)
+	sim := l.net.Sim
+	sim.After(ser+l.cfg.Delay, "lan-arrival", func() {
+		l.deliver(fr.pkt, from, fr.to)
+	})
+	sim.After(ser, "lan-tx-done", func() {
+		st.busy = false
+		if len(st.queue) > 0 {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			l.startTx(from, st, next)
+		}
+	})
+}
+
+func (l *LAN) deliver(pkt *Packet, from *Node, to NodeID) {
+	if to == Broadcast {
+		for _, m := range l.members {
+			if m == from {
+				continue
+			}
+			// Each receiver gets its own shallow copy so per-node TTL and
+			// bookkeeping do not interfere.
+			cp := *pkt
+			m.receive(&cp, l)
+		}
+		return
+	}
+	for _, m := range l.members {
+		if m.ID == to {
+			m.receive(pkt, l)
+			return
+		}
+	}
+	l.net.drop(pkt, DropNoRoute)
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import "fmt"
+
+// LinkConfig parameterizes a point-to-point link.
+type LinkConfig struct {
+	// Delay is the one-way propagation time in seconds.
+	Delay float64
+	// Bandwidth is bits per second; 0 means infinite (no serialization).
+	Bandwidth float64
+	// QueueCap bounds each direction's output queue in packets while the
+	// transmitter serializes; 0 uses DefaultQueueCap.
+	QueueCap int
+}
+
+// DefaultQueueCap is the per-direction output queue bound when
+// LinkConfig.QueueCap is zero.
+const DefaultQueueCap = 64
+
+// Link is a full-duplex point-to-point link: independent transmitter,
+// drop-tail queue, serialization and propagation per direction.
+type Link struct {
+	net  *Network
+	cfg  LinkConfig
+	ends [2]*Node
+	tx   [2]txState
+	down bool
+	// stats per direction
+	txPackets [2]uint64
+	txBytes   [2]uint64
+}
+
+// LinkStats is per-direction transmission accounting.
+type LinkStats struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// StatsFrom returns the transmission counters for the direction whose
+// sender is from.
+func (l *Link) StatsFrom(from *Node) LinkStats {
+	d := l.dir(from)
+	return LinkStats{Packets: l.txPackets[d], Bytes: l.txBytes[d]}
+}
+
+// Utilization returns the fraction of the observation window the
+// direction from `from` spent serializing, given the configured
+// bandwidth; it returns 0 for infinite-bandwidth links.
+func (l *Link) Utilization(from *Node, window float64) float64 {
+	if l.cfg.Bandwidth == 0 || window <= 0 {
+		return 0
+	}
+	d := l.dir(from)
+	busy := float64(l.txBytes[d]*8) / l.cfg.Bandwidth
+	return busy / window
+}
+
+// SetDown marks the link failed (true) or restored (false). Packets in
+// flight or transmitted while the link is down are dropped — the failure
+// model behind the routing protocol's convergence tests.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports the link's failure state.
+func (l *Link) Down() bool { return l.down }
+
+type txState struct {
+	busy  bool
+	queue []*Packet
+}
+
+// Connect creates a link between a and b. It panics if a == b.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
+	if a == b {
+		panic("netsim: cannot link a node to itself")
+	}
+	if cfg.Delay < 0 || cfg.Bandwidth < 0 || cfg.QueueCap < 0 {
+		panic("netsim: invalid link config")
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	l := &Link{net: n, cfg: cfg, ends: [2]*Node{a, b}}
+	a.attachMedium(l)
+	b.attachMedium(l)
+	return l
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Peer returns the node at the other end from nd. It panics if nd is not
+// an endpoint.
+func (l *Link) Peer(nd *Node) *Node {
+	switch nd {
+	case l.ends[0]:
+		return l.ends[1]
+	case l.ends[1]:
+		return l.ends[0]
+	default:
+		panic(fmt.Sprintf("netsim: %v is not an endpoint of this link", nd))
+	}
+}
+
+// QueueLen returns the output-queue length for the direction whose sender
+// is from.
+func (l *Link) QueueLen(from *Node) int {
+	return len(l.tx[l.dir(from)].queue)
+}
+
+func (l *Link) dir(from *Node) int {
+	switch from {
+	case l.ends[0]:
+		return 0
+	case l.ends[1]:
+		return 1
+	default:
+		panic(fmt.Sprintf("netsim: %v is not an endpoint of this link", from))
+	}
+}
+
+// Transmit implements Medium. The link-layer destination is implicit (the
+// other end); `to` is accepted for interface symmetry and ignored except
+// that Broadcast is also valid.
+func (l *Link) Transmit(pkt *Packet, from *Node, _ NodeID) {
+	if l.down {
+		l.net.drop(pkt, DropLinkDown)
+		return
+	}
+	d := l.dir(from)
+	st := &l.tx[d]
+	if st.busy {
+		if len(st.queue) >= l.cfg.QueueCap {
+			l.net.drop(pkt, DropQueueOverflow)
+			return
+		}
+		st.queue = append(st.queue, pkt)
+		return
+	}
+	l.startTx(d, pkt)
+}
+
+func (l *Link) serialization(pkt *Packet) float64 {
+	if l.cfg.Bandwidth == 0 {
+		return 0
+	}
+	return float64(pkt.Size*8) / l.cfg.Bandwidth
+}
+
+func (l *Link) startTx(d int, pkt *Packet) {
+	st := &l.tx[d]
+	st.busy = true
+	l.txPackets[d]++
+	l.txBytes[d] += uint64(pkt.Size)
+	ser := l.serialization(pkt)
+	sim := l.net.Sim
+	dst := l.ends[1-d]
+	// Arrival at the far end after serialization + propagation.
+	sim.After(ser+l.cfg.Delay, "link-arrival", func() {
+		if l.down {
+			l.net.drop(pkt, DropLinkDown)
+			return
+		}
+		dst.receive(pkt, l)
+	})
+	// Transmitter frees after serialization; pop the queue.
+	sim.After(ser, "link-tx-done", func() {
+		st.busy = false
+		if len(st.queue) > 0 {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			l.startTx(d, next)
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// Package netsim is an event-driven, packet-level network simulator:
+// store-and-forward nodes, point-to-point links with propagation delay and
+// serialization at a configured bandwidth, broadcast LAN segments,
+// drop-tail queues, and a router CPU model in which routing-protocol
+// processing can stall the forwarding path.
+//
+// The CPU model is the paper's §2 measurement result turned into a
+// mechanism: the NEARnet core routers "were prevented from routing other
+// packets while the synchronized routing updates were being processed",
+// which produced the 90-second periodic losses of Figure 1. CPUModeLegacy
+// reproduces that behaviour; CPUModeFixed models the post-fix software
+// where forwarding continues during update processing.
+//
+// netsim deliberately shares no shortcut assumptions with
+// internal/periodic: messages here are real packets crossing real links,
+// so experiments built on it (Figs 1–3) exercise an independent
+// implementation of the paper's mechanisms.
+package netsim
+
+import (
+	"fmt"
+
+	"routesync/internal/des"
+	"routesync/internal/rng"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// Kind classifies packets; forwarding treats kinds identically but
+// delivery dispatches on them.
+type Kind uint8
+
+// Packet kinds.
+const (
+	KindData Kind = iota
+	KindRouting
+	KindEchoRequest
+	KindEchoReply
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindRouting:
+		return "routing"
+	case KindEchoRequest:
+		return "echo-request"
+	case KindEchoReply:
+		return "echo-reply"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Packet is one simulated datagram. Payload carries protocol data (e.g. an
+// encoded routing update); the simulator never inspects it.
+type Packet struct {
+	ID      uint64
+	Kind    Kind
+	Src     NodeID
+	Dst     NodeID // ignored for broadcast routing packets on a LAN
+	Size    int    // bytes on the wire
+	TTL     int
+	Created float64 // injection time
+	Payload []byte
+	// Seq is workload-defined (ping number, audio frame number).
+	Seq int64
+	// RecordRoute, when set, makes every node that receives the packet
+	// append a Hop — the record-route option, used by the traceroute
+	// workload and by tests that assert forwarding paths.
+	RecordRoute bool
+	// Hops is the recorded path (only when RecordRoute is set).
+	Hops []Hop
+}
+
+// Hop is one record-route entry.
+type Hop struct {
+	Node NodeID
+	At   float64
+}
+
+// DropReason classifies packet losses for the counters.
+type DropReason string
+
+// Drop reasons.
+const (
+	DropQueueOverflow DropReason = "queue-overflow"
+	DropCPUBusy       DropReason = "cpu-busy"
+	DropNoRoute       DropReason = "no-route"
+	DropTTLExpired    DropReason = "ttl-expired"
+	DropRandomLoss    DropReason = "random-loss"
+	DropLinkDown      DropReason = "link-down"
+)
+
+// Counters aggregates network-wide packet accounting.
+type Counters struct {
+	Injected  uint64
+	Delivered uint64
+	Forwarded uint64
+	Drops     map[DropReason]uint64
+}
+
+// TotalDropped sums drops across reasons.
+func (c *Counters) TotalDropped() uint64 {
+	var t uint64
+	for _, v := range c.Drops {
+		t += v
+	}
+	return t
+}
+
+// Network owns the simulator, the topology and the counters.
+type Network struct {
+	Sim   *des.Simulator
+	Rand  *rng.Source
+	nodes []*Node
+	count Counters
+	pktID uint64
+}
+
+// NewNetwork creates an empty network with the given seed.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		Sim:  des.New(),
+		Rand: rng.New(seed),
+	}
+}
+
+// Counters returns a snapshot of the accounting counters.
+func (n *Network) Counters() Counters {
+	snap := n.count
+	snap.Drops = make(map[DropReason]uint64, len(n.count.Drops))
+	for k, v := range n.count.Drops {
+		snap.Drops[k] = v
+	}
+	return snap
+}
+
+func (n *Network) drop(_ *Packet, why DropReason) {
+	if n.count.Drops == nil {
+		n.count.Drops = make(map[DropReason]uint64)
+	}
+	n.count.Drops[why]++
+}
+
+// NewNode adds a node. A nil cpu means an infinitely fast node (hosts,
+// ideal switches).
+func (n *Network) NewNode(name string, cpu *CPUConfig) *Node {
+	nd := &Node{
+		ID:   NodeID(len(n.nodes)),
+		Name: name,
+		net:  n,
+		FIB:  make(map[NodeID]Egress),
+	}
+	if cpu != nil {
+		nd.CPU = newCPU(nd, *cpu)
+	}
+	n.nodes = append(n.nodes, nd)
+	return nd
+}
+
+// Node returns the node with the given id. It panics on unknown ids.
+func (n *Network) Node(id NodeID) *Node {
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("netsim: unknown node %d", id))
+	}
+	return n.nodes[id]
+}
+
+// Nodes returns all nodes in creation order.
+func (n *Network) Nodes() []*Node { return append([]*Node(nil), n.nodes...) }
+
+// NewPacket allocates a packet with a fresh ID and the current timestamp.
+func (n *Network) NewPacket(kind Kind, src, dst NodeID, size int) *Packet {
+	n.pktID++
+	return &Packet{
+		ID:      n.pktID,
+		Kind:    kind,
+		Src:     src,
+		Dst:     dst,
+		Size:    size,
+		TTL:     64,
+		Created: n.Sim.Now(),
+	}
+}
+
+// Inject introduces a packet at its source node as if generated locally,
+// routing it toward pkt.Dst.
+func (n *Network) Inject(pkt *Packet) {
+	n.count.Injected++
+	n.Node(pkt.Src).route(pkt)
+}
+
+// RunUntil advances the simulation to the horizon.
+func (n *Network) RunUntil(t float64) { n.Sim.RunUntil(t) }

@@ -1,0 +1,196 @@
+package netsim
+
+import "fmt"
+
+// Broadcast is the link-layer destination meaning "every member of the
+// medium" (used for routing updates on a LAN).
+const Broadcast NodeID = -1
+
+// Medium is anything a node can transmit packets on: a point-to-point
+// Link or a broadcast LAN segment.
+type Medium interface {
+	// Transmit sends pkt from the given node toward the link-layer
+	// destination `to` (Broadcast for all members). The medium applies
+	// serialization, queueing and propagation before delivering to the
+	// receiving node(s).
+	Transmit(pkt *Packet, from *Node, to NodeID)
+}
+
+// Egress is a forwarding-table entry: which medium to send on and the
+// link-layer next hop.
+type Egress struct {
+	Via     Medium
+	NextHop NodeID
+}
+
+// Node is a host or router. Hosts have nil CPU (forwarding and delivery
+// are instantaneous); routers carry a CPU whose busy periods can stall
+// forwarding (see CPUConfig).
+type Node struct {
+	ID   NodeID
+	Name string
+	net  *Network
+
+	// FIB maps final destination to egress. Routing agents (or static
+	// topology setup) populate it.
+	FIB map[NodeID]Egress
+
+	// CPU is the router processor model, nil for infinitely fast nodes.
+	CPU *CPU
+
+	// OnRouting receives routing packets addressed to (or broadcast at)
+	// this node, along with the medium they arrived on (for split
+	// horizon and next-hop bookkeeping). Routing agents install it. If
+	// nil, routing packets are counted delivered and discarded.
+	OnRouting func(*Packet, Medium)
+
+	// OnDeliver receives non-routing packets whose Dst is this node,
+	// keyed by packet kind; missing kinds are counted delivered and
+	// discarded.
+	OnDeliver map[Kind]func(*Packet)
+
+	// LossProb is an independent per-arrival random loss probability,
+	// modelling background noise (the "little blips ... randomly spread
+	// along the time axis" in the paper's Figure 3).
+	LossProb float64
+
+	media []Medium
+	stats NodeStats
+}
+
+// NodeStats is per-node packet accounting.
+type NodeStats struct {
+	// Received counts packets handed to this node by any medium.
+	Received uint64
+	// DeliveredLocal counts packets consumed here (Dst == this node).
+	DeliveredLocal uint64
+	// ForwardedOut counts transit packets sent onward.
+	ForwardedOut uint64
+	// RoutingIn counts routing packets handed to the agent.
+	RoutingIn uint64
+	// Dropped counts packets this node dropped, by reason.
+	Dropped map[DropReason]uint64
+}
+
+// Stats returns a snapshot of the node's counters.
+func (nd *Node) Stats() NodeStats {
+	snap := nd.stats
+	snap.Dropped = make(map[DropReason]uint64, len(nd.stats.Dropped))
+	for k, v := range nd.stats.Dropped {
+		snap.Dropped[k] = v
+	}
+	return snap
+}
+
+func (nd *Node) dropHere(pkt *Packet, why DropReason) {
+	if nd.stats.Dropped == nil {
+		nd.stats.Dropped = make(map[DropReason]uint64)
+	}
+	nd.stats.Dropped[why]++
+	nd.net.drop(pkt, why)
+}
+
+// Net returns the owning network.
+func (nd *Node) Net() *Network { return nd.net }
+
+// String returns "name(id)".
+func (nd *Node) String() string { return fmt.Sprintf("%s(%d)", nd.Name, nd.ID) }
+
+// attachMedium registers a medium the node is connected to.
+func (nd *Node) attachMedium(m Medium) { nd.media = append(nd.media, m) }
+
+// Media returns the media this node is attached to, in attachment order.
+func (nd *Node) Media() []Medium { return append([]Medium(nil), nd.media...) }
+
+// SetRoute installs a forwarding entry for dst.
+func (nd *Node) SetRoute(dst NodeID, via Medium, nextHop NodeID) {
+	nd.FIB[dst] = Egress{Via: via, NextHop: nextHop}
+}
+
+// SendOn transmits pkt directly on a medium, bypassing the FIB — the
+// primitive routing agents use to broadcast updates to neighbors.
+func (nd *Node) SendOn(m Medium, to NodeID, pkt *Packet) {
+	m.Transmit(pkt, nd, to)
+}
+
+// receive is the arrival path: every packet handed to this node by a
+// medium lands here.
+func (nd *Node) receive(pkt *Packet, via Medium) {
+	nd.stats.Received++
+	if pkt.RecordRoute {
+		pkt.Hops = append(pkt.Hops, Hop{Node: nd.ID, At: nd.net.Sim.Now()})
+	}
+	if nd.LossProb > 0 && nd.net.Rand.Bernoulli(nd.LossProb) {
+		nd.dropHere(pkt, DropRandomLoss)
+		return
+	}
+	if pkt.Kind == KindRouting {
+		// Routing packets go to the agent regardless of CPU state — the
+		// router must process them (that processing is exactly what
+		// occupies the CPU).
+		nd.stats.RoutingIn++
+		if nd.OnRouting != nil {
+			nd.OnRouting(pkt, via)
+			return
+		}
+		nd.net.count.Delivered++
+		return
+	}
+	if nd.CPU != nil && nd.CPU.BlocksForwarding() {
+		// Legacy router behaviour (paper §2): while routing updates are
+		// being processed the forwarding path is stalled; a small input
+		// queue absorbs what it can and the rest is lost.
+		nd.CPU.enqueueOrDrop(pkt)
+		return
+	}
+	nd.dispatch(pkt)
+}
+
+// dispatch delivers local packets and forwards transit ones.
+func (nd *Node) dispatch(pkt *Packet) {
+	if pkt.Dst == nd.ID {
+		nd.deliverLocal(pkt)
+		return
+	}
+	nd.forward(pkt)
+}
+
+func (nd *Node) deliverLocal(pkt *Packet) {
+	nd.net.count.Delivered++
+	nd.stats.DeliveredLocal++
+	if fn, ok := nd.OnDeliver[pkt.Kind]; ok {
+		fn(pkt)
+	}
+}
+
+// forward sends a transit packet toward its destination via the FIB.
+func (nd *Node) forward(pkt *Packet) {
+	pkt.TTL--
+	if pkt.TTL <= 0 {
+		nd.dropHere(pkt, DropTTLExpired)
+		return
+	}
+	eg, ok := nd.FIB[pkt.Dst]
+	if !ok {
+		nd.dropHere(pkt, DropNoRoute)
+		return
+	}
+	nd.net.count.Forwarded++
+	nd.stats.ForwardedOut++
+	eg.Via.Transmit(pkt, nd, eg.NextHop)
+}
+
+// route is the injection path for locally generated packets: deliver to
+// self or forward, without a TTL charge for the first hop decision.
+func (nd *Node) route(pkt *Packet) {
+	if pkt.Dst == nd.ID {
+		nd.deliverLocal(pkt)
+		return
+	}
+	eg, ok := nd.FIB[pkt.Dst]
+	if !ok {
+		nd.net.drop(pkt, DropNoRoute)
+		return
+	}
+	eg.Via.Transmit(pkt, nd, eg.NextHop)
+}

@@ -1,0 +1,168 @@
+package netsim
+
+import "routesync/internal/rng"
+
+// neighbors enumerates (medium, peer) pairs reachable in one hop from nd.
+func neighbors(nd *Node) []Egress {
+	var out []Egress
+	for _, m := range nd.media {
+		switch t := m.(type) {
+		case *Link:
+			out = append(out, Egress{Via: t, NextHop: t.Peer(nd).ID})
+		case *LAN:
+			for _, peer := range t.Members() {
+				if peer != nd {
+					out = append(out, Egress{Via: t, NextHop: peer.ID})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// InstallStaticRoutes fills every node's FIB with shortest-path (hop
+// count) routes computed by breadth-first search over the topology.
+// Experiments that study forwarding behaviour rather than route
+// computation (Figs 1–3) use this instead of running a routing protocol to
+// convergence; the routing protocol's own tests verify it converges to
+// the same routes.
+func (n *Network) InstallStaticRoutes() {
+	for _, src := range n.nodes {
+		// BFS from src; record the first hop toward each destination.
+		type qe struct {
+			node  *Node
+			first Egress // egress src used to start this branch
+		}
+		visited := make(map[NodeID]bool, len(n.nodes))
+		visited[src.ID] = true
+		var queue []qe
+		for _, eg := range neighbors(src) {
+			if visited[eg.NextHop] {
+				continue
+			}
+			visited[eg.NextHop] = true
+			src.SetRoute(eg.NextHop, eg.Via, eg.NextHop)
+			queue = append(queue, qe{node: n.Node(eg.NextHop), first: eg})
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, eg := range neighbors(cur.node) {
+				if visited[eg.NextHop] {
+					continue
+				}
+				visited[eg.NextHop] = true
+				src.SetRoute(eg.NextHop, cur.first.Via, cur.first.NextHop)
+				queue = append(queue, qe{node: n.Node(eg.NextHop), first: cur.first})
+			}
+		}
+	}
+}
+
+// BuildChain creates a linear chain of nodes connected by identical links:
+// names[0] — names[1] — ... — names[k−1]. cpu[i] configures node i's CPU
+// (nil entries or a short slice mean no CPU). Static routes are installed.
+// The paper's Figure 1 path (Berkeley → ... NEARnet cores ... → MIT) is a
+// chain like this.
+func (n *Network) BuildChain(names []string, cpus []*CPUConfig, link LinkConfig) []*Node {
+	if len(names) < 2 {
+		panic("netsim: a chain needs at least two nodes")
+	}
+	nodes := make([]*Node, len(names))
+	for i, name := range names {
+		var cpu *CPUConfig
+		if i < len(cpus) {
+			cpu = cpus[i]
+		}
+		nodes[i] = n.NewNode(name, cpu)
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		n.Connect(nodes[i], nodes[i+1], link)
+	}
+	n.InstallStaticRoutes()
+	return nodes
+}
+
+// BuildRandomGraph creates n nodes wired as a uniformly random connected
+// graph: a random spanning tree (node i > 0 links to a uniform j < i)
+// plus extraEdges additional distinct random edges. cpus[i] configures
+// node i (nil or short slice: no CPU). Static routes are NOT installed —
+// random graphs exist to exercise the routing protocol's convergence, so
+// callers attach agents instead. Returns the nodes and the links.
+func (n *Network) BuildRandomGraph(r *rng.Source, count, extraEdges int, cpus []*CPUConfig, link LinkConfig) ([]*Node, []*Link) {
+	if count < 2 {
+		panic("netsim: a random graph needs at least two nodes")
+	}
+	nodes := make([]*Node, count)
+	for i := range nodes {
+		var cpu *CPUConfig
+		if i < len(cpus) {
+			cpu = cpus[i]
+		}
+		nodes[i] = n.NewNode("g", cpu)
+	}
+	var links []*Link
+	connected := make(map[[2]int]bool)
+	addEdge := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if connected[key] {
+			return false
+		}
+		connected[key] = true
+		links = append(links, n.Connect(nodes[a], nodes[b], link))
+		return true
+	}
+	for i := 1; i < count; i++ {
+		addEdge(i, r.Intn(i))
+	}
+	for added := 0; added < extraEdges; {
+		if addEdge(r.Intn(count), r.Intn(count)) {
+			added++
+		} else if len(links) == count*(count-1)/2 {
+			break // complete graph; nothing left to add
+		}
+	}
+	return nodes, links
+}
+
+// HopDistances returns the hop count from src to every node reachable
+// over the current topology (ignoring FIBs), computed by BFS — the
+// ground truth the routing protocol's tables are checked against.
+func (n *Network) HopDistances(src *Node) map[NodeID]int {
+	dist := map[NodeID]int{src.ID: 0}
+	queue := []*Node{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, eg := range neighbors(cur) {
+			if _, seen := dist[eg.NextHop]; seen {
+				continue
+			}
+			dist[eg.NextHop] = dist[cur.ID] + 1
+			queue = append(queue, n.Node(eg.NextHop))
+		}
+	}
+	return dist
+}
+
+// BuildStar creates a hub node connected by identical links to k leaves
+// and installs static routes. Returns (hub, leaves).
+func (n *Network) BuildStar(hubName string, hubCPU *CPUConfig, leafNames []string, link LinkConfig) (*Node, []*Node) {
+	if len(leafNames) < 1 {
+		panic("netsim: a star needs at least one leaf")
+	}
+	hub := n.NewNode(hubName, hubCPU)
+	leaves := make([]*Node, len(leafNames))
+	for i, name := range leafNames {
+		leaves[i] = n.NewNode(name, nil)
+		n.Connect(hub, leaves[i], link)
+	}
+	n.InstallStaticRoutes()
+	return hub, leaves
+}

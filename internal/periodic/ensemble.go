@@ -1,0 +1,113 @@
+package periodic
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"routesync/internal/stats"
+)
+
+// EnsembleResult aggregates a replicated simulation study: the paper's
+// figures average 20 independent runs; this utility runs them in
+// parallel and reports distributional summaries rather than a bare mean.
+type EnsembleResult struct {
+	// Reached counts replications that met the condition before the
+	// horizon.
+	Reached int
+	// Replications is the total runs.
+	Replications int
+	// Times holds the per-replication condition times (seconds) for the
+	// replications that reached it, in seed order.
+	Times []float64
+	// Mean/Median/P10/P90 summarize Times (NaN when nothing reached).
+	Mean   float64
+	Median float64
+	P10    float64
+	P90    float64
+}
+
+func summarize(times []float64, total int) EnsembleResult {
+	res := EnsembleResult{
+		Reached:      len(times),
+		Replications: total,
+		Times:        times,
+		Mean:         math.NaN(),
+		Median:       math.NaN(),
+		P10:          math.NaN(),
+		P90:          math.NaN(),
+	}
+	if len(times) == 0 {
+		return res
+	}
+	res.Mean = stats.Mean(times)
+	res.Median = stats.Median(times)
+	res.P10 = stats.Quantile(times, 0.1)
+	res.P90 = stats.Quantile(times, 0.9)
+	return res
+}
+
+// runEnsemble executes fn for seeds base..base+replications−1 across
+// all CPUs, collecting the finite results in seed order.
+func runEnsemble(replications int, base int64, fn func(seed int64) float64) []float64 {
+	if replications < 1 {
+		panic("periodic: ensemble needs at least one replication")
+	}
+	out := make([]float64, replications)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < replications; i++ {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = fn(base + int64(i))
+		}()
+	}
+	wg.Wait()
+	var times []float64
+	for _, t := range out {
+		if !math.IsInf(t, 1) {
+			times = append(times, t)
+		}
+	}
+	return times
+}
+
+// EnsembleSync runs `replications` independent simulations of cfg (seeds
+// cfg.Seed, cfg.Seed+1, ...) from an unsynchronized start and summarizes
+// the time to full synchronization.
+func EnsembleSync(cfg Config, replications int, horizon float64) EnsembleResult {
+	times := runEnsemble(replications, cfg.Seed, func(seed int64) float64 {
+		c := cfg
+		c.Seed = seed
+		c.Start = StartUnsynchronized
+		s := New(c)
+		r := s.RunUntilSynchronized(horizon)
+		if !r.Reached {
+			return math.Inf(1)
+		}
+		return r.Time
+	})
+	return summarize(times, replications)
+}
+
+// EnsembleBreak runs `replications` simulations from a synchronized
+// start and summarizes the time until the largest pending cluster is at
+// or below threshold.
+func EnsembleBreak(cfg Config, threshold, replications int, horizon float64) EnsembleResult {
+	times := runEnsemble(replications, cfg.Seed, func(seed int64) float64 {
+		c := cfg
+		c.Seed = seed
+		c.Start = StartSynchronized
+		s := New(c)
+		r := s.RunUntilBroken(threshold, horizon)
+		if !r.Reached {
+			return math.Inf(1)
+		}
+		return r.Time
+	})
+	return summarize(times, replications)
+}

@@ -1,0 +1,84 @@
+package periodic
+
+import (
+	"math"
+	"testing"
+
+	"routesync/internal/jitter"
+)
+
+func TestEnsembleSyncSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated runs")
+	}
+	cfg := Paper(20, 0.1, 1)
+	res := EnsembleSync(cfg, 8, 2e6)
+	if res.Replications != 8 {
+		t.Fatalf("replications = %d", res.Replications)
+	}
+	if res.Reached < 7 {
+		t.Fatalf("only %d/8 synchronized at Tr=0.1 within 2e6s", res.Reached)
+	}
+	if math.IsNaN(res.Mean) || res.Mean <= 0 {
+		t.Fatalf("mean = %v", res.Mean)
+	}
+	if !(res.P10 <= res.Median && res.Median <= res.P90) {
+		t.Fatalf("quantiles disordered: %v %v %v", res.P10, res.Median, res.P90)
+	}
+	if res.Mean > res.P90*2 {
+		t.Fatalf("mean %v implausibly above P90 %v", res.Mean, res.P90)
+	}
+}
+
+func TestEnsembleDeterministicAcrossParallelism(t *testing.T) {
+	// The parallel scheduler must not change results: each replication
+	// is seeded independently, so two invocations agree exactly.
+	cfg := Paper(10, 0.1, 5)
+	a := EnsembleSync(cfg, 4, 5e5)
+	b := EnsembleSync(cfg, 4, 5e5)
+	if a.Reached != b.Reached || len(a.Times) != len(b.Times) {
+		t.Fatalf("ensembles differ: %+v vs %+v", a, b)
+	}
+	// Times are collected in seed order, so they match elementwise.
+	for i := range a.Times {
+		if a.Times[i] != b.Times[i] {
+			t.Fatalf("time %d differs: %v vs %v", i, a.Times[i], b.Times[i])
+		}
+	}
+}
+
+func TestEnsembleBreakHighJitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated runs")
+	}
+	cfg := Config{N: 20, Tc: 0.11, Jitter: jitter.Uniform{Tp: 121, Tr: 1.1}, Seed: 3}
+	res := EnsembleBreak(cfg, 2, 6, 1e6)
+	if res.Reached != 6 {
+		t.Fatalf("only %d/6 broke up at Tr=10·Tc", res.Reached)
+	}
+	// 10·Tc jitter breaks synchronization within a few hundred rounds.
+	if res.P90 > 2e5 {
+		t.Fatalf("P90 break time = %v s, want < 2e5", res.P90)
+	}
+}
+
+func TestEnsembleNoneReached(t *testing.T) {
+	// Tr = Tp/2 never synchronizes: the summary degrades gracefully.
+	cfg := Config{N: 20, Tc: 0.11, Jitter: jitter.Uniform{Tp: 121, Tr: 60}, Seed: 9}
+	res := EnsembleSync(cfg, 3, 5e4)
+	if res.Reached != 0 {
+		t.Fatalf("reached = %d", res.Reached)
+	}
+	if !math.IsNaN(res.Mean) || !math.IsNaN(res.Median) {
+		t.Fatalf("summary of empty ensemble: %+v", res)
+	}
+}
+
+func TestEnsemblePanicsOnZeroReplications(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero replications did not panic")
+		}
+	}()
+	EnsembleSync(Paper(5, 0.1, 1), 0, 1e4)
+}

@@ -1,0 +1,278 @@
+// Package periodic implements the paper's Periodic Messages model (§3) and
+// its simulation semantics (§4): N routers, each with a routing timer drawn
+// from a jitter policy (U[Tp−Tr, Tp+Tr] in the paper), a per-message
+// processing cost Tc, and the weak coupling that arises because a router
+// resets its timer only after it has finished sending its own routing
+// message and processing any incoming ones.
+//
+// The simulation follows the paper's simplifying assumptions: routing
+// message transmission time is zero and every router learns of a timer
+// expiration immediately, so when the earliest pending timer fires at time
+// t, the set of routers whose timers fire inside the growing busy window
+// [t, t+k·Tc) forms a cluster of size k; all members finish processing at
+// t+k·Tc and reset their timers simultaneously. Those shared resets are
+// the synchronization mechanism the paper studies.
+package periodic
+
+import (
+	"fmt"
+	"math"
+
+	"routesync/internal/cluster"
+	"routesync/internal/jitter"
+	"routesync/internal/rng"
+)
+
+// TimerReset selects when a router's timer is re-armed.
+type TimerReset int
+
+const (
+	// ResetAfterProcessing is the paper's model (§3 step 3): the timer is
+	// set only after the router finishes its outgoing message and all
+	// incoming ones, so processing delays shift the next expiration. This
+	// is the coupling that lets clusters form and drift.
+	ResetAfterProcessing TimerReset = iota
+	// ResetOnExpiry is the alternative suggested in RFC 1058 and §6: the
+	// next expiration is scheduled from the previous expiration,
+	// unaffected by processing time. Routers are then uncoupled — they
+	// neither synchronize nor, once synchronized, desynchronize.
+	ResetOnExpiry
+)
+
+// String returns the reset mode name.
+func (t TimerReset) String() string {
+	switch t {
+	case ResetAfterProcessing:
+		return "reset-after-processing"
+	case ResetOnExpiry:
+		return "reset-on-expiry"
+	default:
+		return fmt.Sprintf("TimerReset(%d)", int(t))
+	}
+}
+
+// StartState selects the initial phase of the routers.
+type StartState int
+
+const (
+	// StartUnsynchronized draws each router's first expiration uniformly
+	// from [0, Tp] (paper §4: "the transit time for the first routing
+	// message is chosen from the uniform distribution on [0, Tp]").
+	StartUnsynchronized StartState = iota
+	// StartSynchronized fires every router's first timer at time 0 — the
+	// state a wave of triggered updates or a simultaneous restart leaves
+	// the network in (paper Figs 8, 11).
+	StartSynchronized
+)
+
+// String returns the start-state name.
+func (s StartState) String() string {
+	switch s {
+	case StartUnsynchronized:
+		return "unsynchronized"
+	case StartSynchronized:
+		return "synchronized"
+	default:
+		return fmt.Sprintf("StartState(%d)", int(s))
+	}
+}
+
+// Config parameterizes a System.
+type Config struct {
+	// N is the number of routers (paper default 20).
+	N int
+	// Tc is the seconds of computation needed to process one incoming or
+	// outgoing routing message (paper default 0.11 s).
+	Tc float64
+	// Jitter yields successive timer intervals (paper default
+	// U[Tp−Tr, Tp+Tr] with Tp = 121 s, Tr = 0.1 s).
+	Jitter jitter.Policy
+	// Reset selects the timer re-arm rule; the zero value is the paper's.
+	Reset TimerReset
+	// Start selects the initial phase; the zero value is unsynchronized.
+	Start StartState
+	// Seed drives all randomness. Two runs with equal Config replay
+	// identically.
+	Seed int64
+}
+
+// Paper returns the configuration used throughout the paper's §4
+// simulations: N routers, Tp = 121 s, Tc = 0.11 s, and random component tr.
+func Paper(n int, tr float64, seed int64) Config {
+	return Config{
+		N:      n,
+		Tc:     0.11,
+		Jitter: jitter.Uniform{Tp: 121, Tr: tr},
+		Seed:   seed,
+	}
+}
+
+// Event describes one cluster firing: the routers whose timers expired in
+// one shared busy window.
+type Event struct {
+	// Start is the first timer expiration (busy window opens).
+	Start float64
+	// End is Start + Size·Tc, when all members reset their timers.
+	End float64
+	// Members holds the router ids in expiry order; Members[0] is the
+	// cluster head.
+	Members []int
+	// Expiries holds each member's timer-expiration time, parallel to
+	// Members.
+	Expiries []float64
+}
+
+// Size returns the cluster size.
+func (e Event) Size() int { return len(e.Members) }
+
+// System is a running instance of the Periodic Messages model. It is not
+// safe for concurrent use.
+type System struct {
+	cfg    Config
+	r      *rng.Source
+	expiry []float64 // next timer expiration per router
+	now    float64
+	steps  uint64
+	// onEvent observers are invoked, in registration order, after every
+	// cluster firing.
+	onEvent []func(Event)
+	// scratch buffers reused across steps
+	members []cluster.Member
+}
+
+// New constructs a System from cfg. It panics on invalid configuration:
+// N < 1, Tc < 0, nil Jitter, or a jitter policy whose mean period does not
+// exceed N·Tc (the network would spend all its time processing updates).
+func New(cfg Config) *System {
+	if cfg.N < 1 {
+		panic("periodic: need at least one router")
+	}
+	if cfg.Tc < 0 {
+		panic("periodic: negative Tc")
+	}
+	if cfg.Jitter == nil {
+		panic("periodic: nil jitter policy")
+	}
+	if cfg.Jitter.Mean() <= float64(cfg.N)*cfg.Tc {
+		panic("periodic: mean period must exceed N*Tc (system otherwise saturates)")
+	}
+	s := &System{
+		cfg:     cfg,
+		r:       rng.New(cfg.Seed),
+		expiry:  make([]float64, cfg.N),
+		members: make([]cluster.Member, cfg.N),
+	}
+	switch cfg.Start {
+	case StartSynchronized:
+		// all zero: one size-N cluster fires immediately
+	default:
+		tp := cfg.Jitter.Mean()
+		for i := range s.expiry {
+			s.expiry[i] = s.r.Uniform(0, tp)
+		}
+	}
+	return s
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Now returns the current simulation time (the End of the last event).
+func (s *System) Now() float64 { return s.now }
+
+// Steps returns the number of cluster events processed.
+func (s *System) Steps() uint64 { return s.steps }
+
+// NextExpiry returns the earliest pending timer expiration.
+func (s *System) NextExpiry() float64 {
+	min := math.Inf(1)
+	for _, e := range s.expiry {
+		if e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// Expiries returns a copy of every router's pending expiration time.
+func (s *System) Expiries() []float64 {
+	return append([]float64(nil), s.expiry...)
+}
+
+// SetExpiries overrides the pending expirations (len must equal N); used
+// by tests and by experiment drivers that construct bespoke phases.
+func (s *System) SetExpiries(e []float64) {
+	if len(e) != s.cfg.N {
+		panic("periodic: SetExpiries length mismatch")
+	}
+	copy(s.expiry, e)
+}
+
+// OnEvent registers an observer invoked after every cluster firing.
+func (s *System) OnEvent(fn func(Event)) { s.onEvent = append(s.onEvent, fn) }
+
+// TriggerUpdate models a major network change (§3 step 4): every router
+// sends a triggered update immediately, without waiting for its timer. All
+// timers are therefore re-armed from one shared busy window — the system
+// collapses into a single cluster of size N on the next Step.
+func (s *System) TriggerUpdate() {
+	for i := range s.expiry {
+		s.expiry[i] = s.now
+	}
+}
+
+// Step processes the next cluster firing and returns it.
+func (s *System) Step() Event {
+	for i := range s.members {
+		s.members[i] = cluster.Member{ID: i, Expiry: s.expiry[i]}
+	}
+	c := cluster.Grow(s.members, s.cfg.Tc)
+	s.now = c.End
+	ev := Event{
+		Start:    c.Start,
+		End:      c.End,
+		Members:  make([]int, c.Size()),
+		Expiries: make([]float64, c.Size()),
+	}
+	for i, m := range c.Members {
+		ev.Members[i] = m.ID
+		ev.Expiries[i] = m.Expiry
+		delay := s.cfg.Jitter.Delay(s.r, m.ID)
+		var next float64
+		switch s.cfg.Reset {
+		case ResetOnExpiry:
+			next = m.Expiry + delay
+			if next < c.End {
+				// The timer would have fired during the busy window;
+				// the message goes out as soon as processing finishes.
+				next = c.End
+			}
+		default: // ResetAfterProcessing, the paper's rule
+			next = c.End + delay
+		}
+		s.expiry[m.ID] = next
+	}
+	s.steps++
+	for _, fn := range s.onEvent {
+		fn(ev)
+	}
+	return ev
+}
+
+// RunUntil processes cluster firings while the earliest pending expiry is
+// <= horizon. It returns the number of events processed.
+func (s *System) RunUntil(horizon float64) uint64 {
+	var n uint64
+	for s.NextExpiry() <= horizon {
+		s.Step()
+		n++
+	}
+	return n
+}
+
+// RoundWindow returns the nominal round length Tp + Tc used for
+// time-offset plots and per-round largest-cluster tracking (paper Fig 4:
+// "the time mod T, for T = Tp + Tc").
+func (s *System) RoundWindow() float64 {
+	return s.cfg.Jitter.Mean() + s.cfg.Tc
+}

@@ -1,0 +1,422 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"routesync/internal/des"
+	"routesync/internal/jitter"
+	"routesync/internal/netsim"
+	"routesync/internal/rng"
+)
+
+// TimerMode selects when the routing timer is re-armed, mirroring
+// internal/periodic's TimerReset for the packet-level implementation.
+type TimerMode int
+
+const (
+	// TimerResetAfterProcessing re-arms the timer only once the CPU has
+	// finished preparing the router's own update and processing any
+	// updates that arrived meanwhile — the paper's §3 model and the
+	// behaviour of the implementations it cites ([Li93]).
+	TimerResetAfterProcessing TimerMode = iota
+	// TimerResetOnExpiry re-arms relative to the previous expiration,
+	// regardless of processing time (the RFC 1058 suggestion).
+	TimerResetOnExpiry
+)
+
+// Costs models router CPU consumption per routing message, following the
+// paper's Xerox PARC measurement of roughly 1 ms per route.
+type Costs struct {
+	// PerRoutePrepare is seconds of CPU per route to build an update.
+	PerRoutePrepare float64
+	// PerRouteProcess is seconds of CPU per route to process a received
+	// update.
+	PerRouteProcess float64
+	// MinPrepare / MinProcess floor the per-message cost (header
+	// parsing, scheduling) regardless of route count.
+	MinPrepare float64
+	MinProcess float64
+}
+
+// DefaultCosts returns the paper's measured cost model: 1 ms per route
+// each way with a 1 ms floor.
+func DefaultCosts() Costs {
+	return Costs{PerRoutePrepare: 0.001, PerRouteProcess: 0.001, MinPrepare: 0.001, MinProcess: 0.001}
+}
+
+// Config assembles an agent's behaviour.
+type Config struct {
+	// Profile holds the protocol constants (period, infinity, ...).
+	Profile Profile
+	// Jitter yields timer intervals; nil means the deterministic period
+	// (jitter.None), the configuration the paper warns about.
+	Jitter jitter.Policy
+	// Costs models CPU consumption; the zero value means free processing
+	// (useful for pure-convergence tests).
+	Costs Costs
+	// TimerMode selects the re-arm rule; zero value is the paper's.
+	TimerMode TimerMode
+	// TriggeredResetsTimer controls whether a triggered update re-arms
+	// the periodic timer (§3 step 4 does; some real implementations do
+	// not [Li93]).
+	TriggeredResetsTimer bool
+	// TriggerHoldoff rate-limits triggered updates (seconds); zero means
+	// 1 s.
+	TriggerHoldoff float64
+	// ExtraRoutes inflates the advertised table with this many synthetic
+	// routes, modelling routers that carry many more destinations than
+	// the simulated topology (the PARC routers carried ~300 routes).
+	ExtraRoutes int
+	// RequestOnStart broadcasts a table request when the agent starts
+	// (RFC 1058 §3.4.1), so a rebooted router converges without waiting
+	// up to a full period for its neighbors' timers.
+	RequestOnStart bool
+	// LinkCost returns the metric charged for a hop over the given
+	// medium (>= 1). Nil means hop count (cost 1 everywhere). Delay-
+	// weighted protocols like Hello supply costs derived from the
+	// medium's latency.
+	LinkCost func(netsim.Medium) uint32
+	// Seed drives the agent's private jitter stream.
+	Seed int64
+}
+
+// Stats counts agent activity.
+type Stats struct {
+	PeriodicSent     uint64
+	TriggeredSent    uint64
+	Received         uint64
+	Malformed        uint64
+	TimerResets      uint64
+	RouteChanges     uint64
+	ExpiredRoutes    uint64
+	DeletedRoutes    uint64
+	RequestsSent     uint64
+	RequestsAnswered uint64
+}
+
+// Agent is one router's routing process.
+type Agent struct {
+	node *netsim.Node
+	cfg  Config
+	r    *rng.Source
+
+	table      *Table
+	timerEv    *des.Event
+	lastExpiry float64
+	lastTrig   float64
+	stats      Stats
+	stopped    bool
+
+	// OnSend, if set, observes every update transmission (experiments
+	// use it for cluster detection on the packet-level substrate).
+	OnSend func(t float64, triggered bool)
+	// OnTimerReset, if set, observes every timer re-arm with the
+	// absolute expiry time.
+	OnTimerReset func(resetAt, expiresAt float64)
+}
+
+// NewAgent creates an agent on node and installs its receive hook. Call
+// Start to arm the first timer. It panics on invalid configuration.
+func NewAgent(node *netsim.Node, cfg Config) *Agent {
+	if err := cfg.Profile.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = jitter.None{Tp: cfg.Profile.Period}
+	}
+	if cfg.TriggerHoldoff == 0 {
+		cfg.TriggerHoldoff = 1
+	}
+	if cfg.Costs.PerRoutePrepare < 0 || cfg.Costs.PerRouteProcess < 0 ||
+		cfg.Costs.MinPrepare < 0 || cfg.Costs.MinProcess < 0 {
+		panic("routing: negative costs")
+	}
+	if cfg.ExtraRoutes < 0 || cfg.ExtraRoutes > MaxEntries/2 {
+		panic("routing: ExtraRoutes out of range")
+	}
+	a := &Agent{
+		node:  node,
+		cfg:   cfg,
+		r:     rng.New(cfg.Seed ^ int64(node.ID)*0x9E3779B9),
+		table: NewTable(cfg.Profile.Infinity),
+	}
+	a.table.SetHoldDown(cfg.Profile.HoldDown)
+	node.OnRouting = a.receive
+	return a
+}
+
+// Node returns the agent's node.
+func (a *Agent) Node() *netsim.Node { return a.node }
+
+// Table returns the agent's routing table.
+func (a *Agent) Table() *Table { return a.table }
+
+// Stats returns a snapshot of the counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// Start installs the router's own route and arms the first timer to fire
+// at startOffset seconds from now. A shared startOffset of 0 across
+// agents models the post-restart synchronized state; drawing offsets from
+// U[0, Period] models the unsynchronized state.
+func (a *Agent) Start(startOffset float64) {
+	if startOffset < 0 {
+		panic("routing: negative start offset")
+	}
+	now := a.node.Net().Sim.Now()
+	a.table.SetLocal(a.node.ID, now)
+	a.lastExpiry = now + startOffset
+	a.armAt(now + startOffset)
+	// Housekeeping sweep, offset to avoid colliding with the timer.
+	a.scheduleSweep()
+	if a.cfg.RequestOnStart {
+		a.sendRequest()
+	}
+}
+
+// sendRequest broadcasts a table request on every medium.
+func (a *Agent) sendRequest() {
+	net := a.node.Net()
+	payload, err := Encode(Message{Router: a.node.ID, Request: true})
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range a.node.Media() {
+		pkt := net.NewPacket(netsim.KindRouting, a.node.ID, netsim.Broadcast, 28+len(payload))
+		pkt.Payload = payload
+		a.node.SendOn(m, netsim.Broadcast, pkt)
+	}
+	a.stats.RequestsSent++
+}
+
+func (a *Agent) armAt(at float64) {
+	sim := a.node.Net().Sim
+	a.timerEv = sim.Schedule(at, fmt.Sprintf("routing-timer(%s)", a.node.Name), a.onTimer)
+	a.stats.TimerResets++
+	if a.OnTimerReset != nil {
+		a.OnTimerReset(sim.Now(), at)
+	}
+}
+
+func (a *Agent) cancelTimer() {
+	if a.timerEv != nil {
+		a.node.Net().Sim.Cancel(a.timerEv)
+		a.timerEv = nil
+	}
+}
+
+// Stop halts the agent: the periodic timer is cancelled, housekeeping
+// ceases, and incoming packets are ignored. The routing table is left
+// as-is for post-mortem inspection. Stop models an administrative
+// shutdown; the neighbors' route-timeout machinery ages the dead
+// router's routes out.
+func (a *Agent) Stop() {
+	a.stopped = true
+	a.cancelTimer()
+	a.node.OnRouting = nil
+}
+
+// onTimer fires at a periodic timer expiration: prepare and send the
+// router's own update (§3 step 1).
+func (a *Agent) onTimer() {
+	if a.stopped {
+		return
+	}
+	a.lastExpiry = a.node.Net().Sim.Now()
+	a.sendUpdate(false, true)
+}
+
+// sendUpdate broadcasts an update and charges the preparation cost to the
+// CPU. The broadcast leaves immediately — the paper's §4 simulation
+// assumption that "the other nodes are immediately notified that node A
+// will be sending a routing message", which reflects real multi-packet
+// updates whose first packets arrive while the sender is still preparing
+// the rest. The preparation cost then occupies the CPU, and when
+// resetTimer is set the periodic timer is re-armed only after the CPU
+// backlog (own preparation plus any incoming updates) drains (§3 step 3).
+func (a *Agent) sendUpdate(triggered, resetTimer bool) {
+	a.broadcast(triggered)
+	prep := math.Max(a.cfg.Costs.MinPrepare,
+		a.cfg.Costs.PerRoutePrepare*float64(a.table.Len()+a.cfg.ExtraRoutes))
+	after := func() {
+		if resetTimer {
+			a.rearmWhenIdle()
+		}
+	}
+	if a.node.CPU != nil && prep > 0 {
+		a.node.CPU.OccupyThen(prep, after)
+		return
+	}
+	after()
+}
+
+// rearmWhenIdle re-arms the periodic timer once the CPU backlog (the
+// router's own preparation plus any incoming updates that arrived during
+// it) drains — the coupling mechanism of the paper.
+func (a *Agent) rearmWhenIdle() {
+	if a.stopped {
+		return
+	}
+	sim := a.node.Net().Sim
+	if a.node.CPU != nil && a.node.CPU.Busy() {
+		sim.Schedule(a.node.CPU.BusyUntil(), "routing-rearm-wait", a.rearmWhenIdle)
+		return
+	}
+	a.cancelTimer()
+	delay := a.cfg.Jitter.Delay(a.r, int(a.node.ID))
+	var at float64
+	switch a.cfg.TimerMode {
+	case TimerResetOnExpiry:
+		at = a.lastExpiry + delay
+		if at < sim.Now() {
+			at = sim.Now()
+		}
+	default:
+		at = sim.Now() + delay
+	}
+	a.armAt(at)
+}
+
+// broadcast transmits the table on every attached medium, applying split
+// horizon per medium.
+func (a *Agent) broadcast(triggered bool) {
+	net := a.node.Net()
+	for _, m := range a.node.Media() {
+		entries := a.table.Export(m, a.cfg.Profile.SplitHorizon, a.cfg.Profile.PoisonReverse)
+		entries = a.padSynthetic(entries)
+		payload, err := Encode(Message{Router: a.node.ID, Triggered: triggered, Entries: entries})
+		if err != nil {
+			panic(err) // table size is bounded by MaxEntries via ExtraRoutes validation
+		}
+		pkt := net.NewPacket(netsim.KindRouting, a.node.ID, netsim.Broadcast, 28+len(payload))
+		pkt.Payload = payload
+		a.node.SendOn(m, netsim.Broadcast, pkt)
+	}
+	if triggered {
+		a.stats.TriggeredSent++
+	} else {
+		a.stats.PeriodicSent++
+	}
+	if a.OnSend != nil {
+		a.OnSend(net.Sim.Now(), triggered)
+	}
+}
+
+// padSynthetic appends the configured synthetic routes, advertised as
+// unreachable-1 so they never win over real ones. They exist to make
+// update preparation/processing cost realistic (the PARC ~300-route
+// tables).
+func (a *Agent) padSynthetic(entries []Entry) []Entry {
+	if a.cfg.ExtraRoutes == 0 {
+		return entries
+	}
+	base := netsim.NodeID(1 << 20) // far outside real node-id space
+	for i := 0; i < a.cfg.ExtraRoutes; i++ {
+		entries = append(entries, Entry{
+			Dest:   base + netsim.NodeID(int(a.node.ID)*MaxEntries+i),
+			Metric: a.cfg.Profile.Infinity - 1,
+		})
+	}
+	return entries
+}
+
+// receive handles an incoming routing packet: consume CPU, then fold the
+// update into the table (§3 steps 2/4).
+func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
+	msg, err := Decode(pkt.Payload)
+	if err != nil {
+		a.stats.Malformed++
+		return
+	}
+	if msg.Router == a.node.ID {
+		return // our own broadcast reflected back; ignore
+	}
+	a.stats.Received++
+	if msg.Request {
+		// Answer with a full update without resetting our own timer
+		// (RFC 1058: responses to requests are not regular updates).
+		a.stats.RequestsAnswered++
+		a.sendUpdate(false, false)
+		return
+	}
+	proc := math.Max(a.cfg.Costs.MinProcess,
+		a.cfg.Costs.PerRouteProcess*float64(len(msg.Entries)))
+	work := func() { a.integrate(msg, via) }
+	if a.node.CPU != nil && proc > 0 {
+		a.node.CPU.OccupyThen(proc, work)
+		return
+	}
+	work()
+}
+
+// integrate applies a decoded update and reacts: FIB programming,
+// triggered-update propagation.
+func (a *Agent) integrate(msg Message, via netsim.Medium) {
+	now := a.node.Net().Sim.Now()
+	cost := uint32(1)
+	if a.cfg.LinkCost != nil {
+		cost = a.cfg.LinkCost(via)
+	}
+	res := a.table.ApplyCost(msg, via, now, cost)
+	if res.Changed {
+		a.stats.RouteChanges++
+	}
+	for _, dest := range res.Installed {
+		r := a.table.Get(dest)
+		if r != nil && !r.Local && r.Metric < a.table.Infinity() {
+			a.node.SetRoute(dest, r.Via, r.NextHop)
+		}
+	}
+	for _, dest := range res.Unreachable {
+		delete(a.node.FIB, dest)
+	}
+	if !a.cfg.Profile.TriggeredUpdates {
+		return
+	}
+	// §3 step 4: an incoming triggered update that changes the table, or
+	// any worsening, provokes our own triggered update ("the first
+	// triggered update results in a wave of triggered updates").
+	if (msg.Triggered && res.Changed) || res.Worsened {
+		a.triggerUpdate()
+	}
+}
+
+// triggerUpdate sends a rate-limited triggered update.
+func (a *Agent) triggerUpdate() {
+	now := a.node.Net().Sim.Now()
+	if now-a.lastTrig < a.cfg.TriggerHoldoff {
+		return
+	}
+	a.lastTrig = now
+	a.sendUpdate(true, a.cfg.TriggeredResetsTimer)
+}
+
+// scheduleSweep arms the periodic route-aging housekeeping.
+func (a *Agent) scheduleSweep() {
+	if a.stopped {
+		return
+	}
+	sim := a.node.Net().Sim
+	sim.Schedule(sim.Now()+a.cfg.Profile.Period, "routing-sweep", func() {
+		if a.stopped {
+			return
+		}
+		a.sweep()
+		a.scheduleSweep()
+	})
+}
+
+func (a *Agent) sweep() {
+	now := a.node.Net().Sim.Now()
+	timeout := a.cfg.Profile.TimeoutFactor * a.cfg.Profile.Period
+	gc := a.cfg.Profile.GCFactor * a.cfg.Profile.Period
+	unreachable, deleted := a.table.Expire(now, timeout, gc)
+	a.stats.ExpiredRoutes += uint64(len(unreachable))
+	a.stats.DeletedRoutes += uint64(len(deleted))
+	for _, dest := range unreachable {
+		delete(a.node.FIB, dest)
+	}
+	if len(unreachable) > 0 && a.cfg.Profile.TriggeredUpdates {
+		a.triggerUpdate()
+	}
+}

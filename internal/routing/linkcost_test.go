@@ -1,0 +1,88 @@
+package routing
+
+import (
+	"testing"
+
+	"routesync/internal/jitter"
+	"routesync/internal/netsim"
+)
+
+func TestApplyCostWeighted(t *testing.T) {
+	tb := NewTable(1000)
+	m := &fakeMedium{"slow"}
+	res := tb.ApplyCost(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 10}}}, m, 0, 7)
+	if !res.Changed {
+		t.Fatal("no change")
+	}
+	if r := tb.Get(5); r.Metric != 17 {
+		t.Fatalf("metric = %d, want 10+7", r.Metric)
+	}
+	if r := tb.Get(1); r.Metric != 7 {
+		t.Fatalf("neighbor metric = %d, want 7", r.Metric)
+	}
+}
+
+func TestApplyCostOverflowCapsAtInfinity(t *testing.T) {
+	tb := NewTable(1 << 30)
+	m := &fakeMedium{"x"}
+	tb.ApplyCost(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: ^uint32(0) - 2}}}, m, 0, 7)
+	if r := tb.Get(5); r != nil && r.Metric < 7 {
+		t.Fatalf("overflowed metric: %+v", r)
+	}
+}
+
+func TestApplyCostZeroPanics(t *testing.T) {
+	tb := NewTable(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero cost did not panic")
+		}
+	}()
+	tb.ApplyCost(Message{Router: 1}, &fakeMedium{"x"}, 0, 0)
+}
+
+// TestWeightedProtocolPrefersCheapDetour: a diamond where the direct link
+// is expensive (cost 10) and the two-hop detour is cheap (1+1): a
+// cost-aware agent must route around, a hop-count agent straight through.
+func TestWeightedProtocolPrefersCheapDetour(t *testing.T) {
+	build := func(costAware bool) (src, dst *netsim.Node, agSrc *Agent, net *netsim.Network) {
+		net = netsim.NewNetwork(61)
+		src = net.NewNode("src", nil)
+		mid := net.NewNode("mid", nil)
+		dst = net.NewNode("dst", nil)
+		slow := net.Connect(src, dst, netsim.LinkConfig{Delay: 0.05}) // satellite hop
+		net.Connect(src, mid, netsim.LinkConfig{Delay: 0.001})
+		net.Connect(mid, dst, netsim.LinkConfig{Delay: 0.001})
+
+		prof := Hello() // delay-weighted protocol profile
+		cfg := Config{Profile: prof, Jitter: jitter.HalfSpread{Tp: prof.Period}, Seed: 5}
+		if costAware {
+			cfg.LinkCost = func(m netsim.Medium) uint32 {
+				if m == netsim.Medium(slow) {
+					return 10
+				}
+				return 1
+			}
+		}
+		for i, nd := range []*netsim.Node{src, mid, dst} {
+			ag := NewAgent(nd, cfg)
+			ag.Start(float64(i) + 1)
+			if nd == src {
+				agSrc = ag
+			}
+		}
+		net.RunUntil(6 * prof.Period)
+		return src, dst, agSrc, net
+	}
+
+	_, dst, agHop, _ := build(false)
+	if r := agHop.Table().Get(dst.ID); r == nil || r.Metric != 1 {
+		t.Fatalf("hop-count route = %+v, want direct (metric 1)", r)
+	}
+
+	_, dst2, agCost, _ := build(true)
+	r := agCost.Table().Get(dst2.ID)
+	if r == nil || r.Metric != 2 {
+		t.Fatalf("cost-aware route = %+v, want detour (metric 2)", r)
+	}
+}

@@ -1,0 +1,117 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"routesync/internal/jitter"
+	"routesync/internal/netsim"
+	"routesync/internal/rng"
+)
+
+// TestConvergesToShortestPathsOnRandomGraphs is the protocol's strongest
+// correctness property: on arbitrary connected topologies, after enough
+// periods every router's metric to every destination equals the BFS hop
+// distance.
+func TestConvergesToShortestPathsOnRandomGraphs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many protocol runs")
+	}
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		net := netsim.NewNetwork(seed)
+		count := 4 + r.Intn(8)
+		extra := r.Intn(count)
+		nodes, _ := net.BuildRandomGraph(r, count, extra, nil, netsim.LinkConfig{Delay: 0.001})
+		cfg := Config{Profile: RIP(), Jitter: jitter.HalfSpread{Tp: 30}, Seed: seed}
+		agents := make([]*Agent, count)
+		for i, nd := range nodes {
+			agents[i] = NewAgent(nd, cfg)
+			agents[i].Start(r.Uniform(0, 30))
+		}
+		// Diameter <= count; each period propagates one hop; generous slack.
+		net.RunUntil(float64(count+4) * 30 * 2)
+		for i, ag := range agents {
+			want := net.HopDistances(nodes[i])
+			for j, other := range nodes {
+				if i == j {
+					continue
+				}
+				rt := ag.Table().Get(other.ID)
+				if rt == nil {
+					t.Logf("seed %d: router %d missing route to %d", seed, i, j)
+					return false
+				}
+				if int(rt.Metric) != want[other.ID] {
+					t.Logf("seed %d: router %d metric to %d = %d, BFS = %d",
+						seed, i, j, rt.Metric, want[other.ID])
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomGraphFailureReconvergence: kill a random non-bridge link and
+// verify the protocol reconverges to the new BFS distances.
+func TestRandomGraphFailureReconvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long reconvergence run")
+	}
+	r := rng.New(99)
+	net := netsim.NewNetwork(99)
+	nodes, links := net.BuildRandomGraph(r, 6, 5, nil, netsim.LinkConfig{Delay: 0.001})
+	prof := RIP()
+	prof.HoldDown = 0
+	cfg := Config{Profile: prof, Jitter: jitter.HalfSpread{Tp: 30}, Seed: 99}
+	agents := make([]*Agent, len(nodes))
+	for i, nd := range nodes {
+		agents[i] = NewAgent(nd, cfg)
+		agents[i].Start(r.Uniform(0, 30))
+	}
+	net.RunUntil(400)
+
+	// Fail an extra (non-tree) link: connectivity survives.
+	failed := links[len(links)-1]
+	failed.SetDown(true)
+	net.RunUntil(400 + 500) // timeout + reconvergence
+
+	for i, ag := range agents {
+		want := hopDistancesAvoiding(net, nodes[i], failed)
+		for j, other := range nodes {
+			if i == j {
+				continue
+			}
+			rt := ag.Table().Get(other.ID)
+			if rt == nil || int(rt.Metric) != want[other.ID] {
+				t.Fatalf("router %d to %d: got %+v, BFS says %d", i, j, rt, want[other.ID])
+			}
+		}
+	}
+}
+
+// hopDistancesAvoiding computes BFS distances skipping the failed link.
+func hopDistancesAvoiding(net *netsim.Network, src *netsim.Node, down *netsim.Link) map[netsim.NodeID]int {
+	dist := map[netsim.NodeID]int{src.ID: 0}
+	queue := []*netsim.Node{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, m := range cur.Media() {
+			l, ok := m.(*netsim.Link)
+			if !ok || l == down {
+				continue
+			}
+			peer := l.Peer(cur)
+			if _, seen := dist[peer.ID]; seen {
+				continue
+			}
+			dist[peer.ID] = dist[cur.ID] + 1
+			queue = append(queue, peer)
+		}
+	}
+	return dist
+}

@@ -1,0 +1,209 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"routesync/internal/netsim"
+)
+
+// fakeMedium is a stand-in Medium for table tests.
+type fakeMedium struct{ name string }
+
+func (f *fakeMedium) Transmit(*netsim.Packet, *netsim.Node, netsim.NodeID) {}
+
+func TestTableLearnsNeighborFromUpdate(t *testing.T) {
+	tb := NewTable(16)
+	tb.SetLocal(0, 0)
+	m := &fakeMedium{"lan"}
+	res := tb.Apply(Message{Router: 1}, m, 10)
+	if !res.Changed {
+		t.Fatal("learning the neighbor should change the table")
+	}
+	r := tb.Get(1)
+	if r == nil || r.Metric != 1 || r.NextHop != 1 {
+		t.Fatalf("neighbor route = %+v", r)
+	}
+}
+
+func TestTableBellmanFord(t *testing.T) {
+	tb := NewTable(16)
+	tb.SetLocal(0, 0)
+	m := &fakeMedium{"lan"}
+	// Neighbor 1 advertises dest 5 at metric 2 → we reach it at 3.
+	res := tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 2}}}, m, 1)
+	if r := tb.Get(5); r == nil || r.Metric != 3 || r.NextHop != 1 {
+		t.Fatalf("route to 5 = %+v (res %+v)", tb.Get(5), res)
+	}
+	// Neighbor 2 advertises dest 5 at metric 1 → better path at 2.
+	tb.Apply(Message{Router: 2, Entries: []Entry{{Dest: 5, Metric: 1}}}, m, 2)
+	if r := tb.Get(5); r.Metric != 2 || r.NextHop != 2 {
+		t.Fatalf("route to 5 after better offer = %+v", r)
+	}
+	// Neighbor 1 advertises metric 9: worse, from a non-next-hop → ignored.
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 9}}}, m, 3)
+	if r := tb.Get(5); r.Metric != 2 || r.NextHop != 2 {
+		t.Fatalf("worse offer from non-next-hop adopted: %+v", r)
+	}
+}
+
+func TestTableBelievesNextHopBadNews(t *testing.T) {
+	tb := NewTable(16)
+	tb.SetLocal(0, 0)
+	m := &fakeMedium{"lan"}
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 1}}}, m, 1)
+	// Current next hop raises the metric: must be believed.
+	res := tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 7}}}, m, 2)
+	if !res.Worsened {
+		t.Fatal("metric increase from next hop not reported as worsened")
+	}
+	if r := tb.Get(5); r.Metric != 8 {
+		t.Fatalf("route metric = %d, want 8", r.Metric)
+	}
+	// Next hop declares it unreachable.
+	res = tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 16}}}, m, 3)
+	if len(res.Unreachable) != 1 || res.Unreachable[0] != 5 {
+		t.Fatalf("unreachable = %v", res.Unreachable)
+	}
+	if r := tb.Get(5); r.Metric != 16 {
+		t.Fatalf("metric = %d, want infinity", r.Metric)
+	}
+}
+
+func TestTableMetricCapsAtInfinity(t *testing.T) {
+	tb := NewTable(16)
+	m := &fakeMedium{"lan"}
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 1}}}, m, 1)
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 40}}}, m, 2)
+	if r := tb.Get(5); r.Metric != 16 {
+		t.Fatalf("metric = %d, want capped at 16", r.Metric)
+	}
+}
+
+func TestTableIgnoresUnreachableNews(t *testing.T) {
+	tb := NewTable(16)
+	m := &fakeMedium{"lan"}
+	res := tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 16}}}, m, 1)
+	if tb.Get(5) != nil {
+		t.Fatal("learned an unreachable route")
+	}
+	if len(res.Installed) != 1 || res.Installed[0] != 1 {
+		t.Fatalf("installed = %v, want just the neighbor", res.Installed)
+	}
+}
+
+func TestTableNeverReplacesLocal(t *testing.T) {
+	tb := NewTable(16)
+	tb.SetLocal(0, 0)
+	m := &fakeMedium{"lan"}
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 0, Metric: 0}}}, m, 1)
+	r := tb.Get(0)
+	if !r.Local || r.Metric != 0 {
+		t.Fatalf("local route overwritten: %+v", r)
+	}
+}
+
+func TestTableExpireLifecycle(t *testing.T) {
+	tb := NewTable(16)
+	tb.SetLocal(0, 0)
+	m := &fakeMedium{"lan"}
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 1}}}, m, 0)
+
+	// Within timeout: nothing happens.
+	un, del := tb.Expire(100, 180, 300)
+	if len(un) != 0 || len(del) != 0 {
+		t.Fatalf("premature expiry: %v %v", un, del)
+	}
+	// Past timeout: routes 1 and 5 become unreachable.
+	un, del = tb.Expire(200, 180, 300)
+	if len(un) != 2 || len(del) != 0 {
+		t.Fatalf("timeout: un=%v del=%v", un, del)
+	}
+	if r := tb.Get(5); r.Metric != 16 {
+		t.Fatalf("metric after timeout = %d", r.Metric)
+	}
+	// Local route unaffected.
+	if r := tb.Get(0); r.Metric != 0 {
+		t.Fatal("local route expired")
+	}
+	// Past GC: deleted.
+	un, del = tb.Expire(600, 180, 300)
+	if len(un) != 0 || len(del) != 2 {
+		t.Fatalf("gc: un=%v del=%v", un, del)
+	}
+	if tb.Get(5) != nil {
+		t.Fatal("route not garbage collected")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("table len = %d, want 1 (local only)", tb.Len())
+	}
+}
+
+func TestTableRefreshPreventsExpiry(t *testing.T) {
+	tb := NewTable(16)
+	m := &fakeMedium{"lan"}
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 1}}}, m, 0)
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 1}}}, m, 150)
+	un, _ := tb.Expire(200, 180, 300)
+	if len(un) != 0 {
+		t.Fatalf("refreshed route expired: %v", un)
+	}
+}
+
+func TestExportSplitHorizon(t *testing.T) {
+	tb := NewTable(16)
+	tb.SetLocal(0, 0)
+	lan := &fakeMedium{"lan"}
+	other := &fakeMedium{"other"}
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 1}}}, lan, 1)
+	tb.Apply(Message{Router: 2, Entries: []Entry{{Dest: 9, Metric: 1}}}, other, 1)
+
+	// With split horizon on the LAN: routes learned over the LAN (1, 5)
+	// are suppressed; local and other-medium routes remain.
+	got := tb.Export(lan, true, false)
+	dests := map[netsim.NodeID]bool{}
+	for _, e := range got {
+		dests[e.Dest] = true
+	}
+	if dests[1] || dests[5] {
+		t.Fatalf("split horizon leaked LAN routes: %v", got)
+	}
+	if !dests[0] || !dests[2] || !dests[9] {
+		t.Fatalf("missing expected routes: %v", got)
+	}
+
+	// Without split horizon everything is advertised.
+	if got := tb.Export(lan, false, false); len(got) != 5 {
+		t.Fatalf("full export = %v", got)
+	}
+}
+
+func TestRoutesSortedDeterministic(t *testing.T) {
+	tb := NewTable(16)
+	m := &fakeMedium{"lan"}
+	tb.Apply(Message{Router: 9, Entries: []Entry{{Dest: 3, Metric: 1}, {Dest: 1, Metric: 1}}}, m, 0)
+	rs := tb.Routes()
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].Dest >= rs[i].Dest {
+			t.Fatalf("routes not sorted: %v then %v", rs[i-1].Dest, rs[i].Dest)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := NewTable(16)
+	tb.SetLocal(0, 0)
+	m := &fakeMedium{"lan"}
+	tb.Apply(Message{Router: 1, Entries: []Entry{{Dest: 5, Metric: 1}, {Dest: 7, Metric: 16}}}, m, 3)
+	out := tb.String()
+	for _, want := range []string{"3 routes", "local", "dest 5", "metric 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table dump missing %q:\n%s", want, out)
+		}
+	}
+	// Unreachable entries render as words, not sentinel numbers... dest 7
+	// was advertised at infinity and never learned, so only 3 routes.
+	if strings.Contains(out, "dest 7") {
+		t.Fatalf("unreachable advertisement learned:\n%s", out)
+	}
+}

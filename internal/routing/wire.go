@@ -1,0 +1,123 @@
+// Package routing implements a family of periodic distance-vector routing
+// protocols over the netsim substrate: full-table updates broadcast at
+// (jittered) periodic intervals, triggered updates on topology change,
+// split horizon, route timeout and garbage collection — the protocol
+// machinery behind RIP, IGRP, DECnet DNA Phase IV, EGP and Hello, the
+// protocols the paper's §3 Periodic Messages model abstracts.
+//
+// The agents exhibit the paper's coupling mechanism for real: a router
+// resets its routing timer only after its CPU finishes preparing its own
+// update and processing any updates that arrived meanwhile, so routers on
+// a shared network can fall into lock-step exactly as §4 simulates.
+package routing
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"routesync/internal/netsim"
+)
+
+// Wire format constants.
+const (
+	magic     = 0x5253 // "RS"
+	version   = 1
+	headerLen = 12
+	entryLen  = 8
+	// flagTriggered marks an update sent in immediate response to a
+	// topology change rather than a timer expiration.
+	flagTriggered = 1 << 0
+	// flagRequest marks a table request (RFC 1058 §3.4.1): a router that
+	// just started asks its neighbors for their tables instead of
+	// waiting up to a full period.
+	flagRequest = 1 << 1
+)
+
+// MaxEntries bounds the routes in one update message (fits a uint16 count
+// with sane packet sizes).
+const MaxEntries = 4096
+
+// Entry is one advertised route.
+type Entry struct {
+	Dest   netsim.NodeID
+	Metric uint32
+}
+
+// Message is a full-table routing update or a table request.
+type Message struct {
+	Router    netsim.NodeID // originating router
+	Triggered bool
+	// Request asks the receiver for its full table; Entries is empty.
+	Request bool
+	Entries []Entry
+}
+
+// Errors returned by Decode.
+var (
+	ErrTruncated  = errors.New("routing: truncated message")
+	ErrBadMagic   = errors.New("routing: bad magic")
+	ErrBadVersion = errors.New("routing: unsupported version")
+	ErrTooMany    = errors.New("routing: too many entries")
+)
+
+// Encode serializes the message big-endian:
+//
+//	uint16 magic | uint8 version | uint8 flags | uint32 router |
+//	uint16 count | uint16 reserved | count × (uint32 dest, uint32 metric)
+func Encode(m Message) ([]byte, error) {
+	if len(m.Entries) > MaxEntries {
+		return nil, fmt.Errorf("%w: %d", ErrTooMany, len(m.Entries))
+	}
+	buf := make([]byte, headerLen+entryLen*len(m.Entries))
+	binary.BigEndian.PutUint16(buf[0:], magic)
+	buf[2] = version
+	if m.Triggered {
+		buf[3] |= flagTriggered
+	}
+	if m.Request {
+		buf[3] |= flagRequest
+	}
+	binary.BigEndian.PutUint32(buf[4:], uint32(m.Router))
+	binary.BigEndian.PutUint16(buf[8:], uint16(len(m.Entries)))
+	for i, e := range m.Entries {
+		off := headerLen + entryLen*i
+		binary.BigEndian.PutUint32(buf[off:], uint32(e.Dest))
+		binary.BigEndian.PutUint32(buf[off+4:], e.Metric)
+	}
+	return buf, nil
+}
+
+// Decode parses a wire message, validating magic, version and length.
+func Decode(buf []byte) (Message, error) {
+	var m Message
+	if len(buf) < headerLen {
+		return m, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != magic {
+		return m, ErrBadMagic
+	}
+	if buf[2] != version {
+		return m, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	m.Triggered = buf[3]&flagTriggered != 0
+	m.Request = buf[3]&flagRequest != 0
+	m.Router = netsim.NodeID(binary.BigEndian.Uint32(buf[4:]))
+	count := int(binary.BigEndian.Uint16(buf[8:]))
+	if len(buf) < headerLen+entryLen*count {
+		return m, ErrTruncated
+	}
+	m.Entries = make([]Entry, count)
+	for i := range m.Entries {
+		off := headerLen + entryLen*i
+		m.Entries[i] = Entry{
+			Dest:   netsim.NodeID(binary.BigEndian.Uint32(buf[off:])),
+			Metric: binary.BigEndian.Uint32(buf[off+4:]),
+		}
+	}
+	return m, nil
+}
+
+// WireSize returns the encoded byte length for n entries (used to size
+// packets without encoding twice).
+func WireSize(n int) int { return headerLen + entryLen*n }

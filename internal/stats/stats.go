@@ -1,0 +1,275 @@
+// Package stats provides the statistical machinery the experiments need:
+// running moments (Welford), autocorrelation (paper Fig 2), histograms,
+// quantiles and simple time-series utilities. Everything is pure
+// computation over float64 slices; no I/O.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Running accumulates count, mean and variance with Welford's online
+// algorithm, which stays numerically stable across the magnitudes this
+// repository sees (sub-millisecond processing times to 10^12-second hitting
+// times). The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean, or NaN with no observations.
+func (r *Running) Mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.mean
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator), or NaN
+// with fewer than two observations.
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return math.NaN()
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// Min returns the smallest observation, or NaN with none.
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.min
+}
+
+// Max returns the largest observation, or NaN with none.
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	return r.max
+}
+
+// Merge folds another accumulator into r (parallel Welford combination).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	mean := r.mean + d*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	min, max := r.min, r.max
+	if o.min < min {
+		min = o.min
+	}
+	if o.max > max {
+		max = o.max
+	}
+	*r = Running{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// Mean returns the arithmetic mean of xs, or NaN if xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs, or NaN if len < 2.
+func Variance(xs []float64) float64 {
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.Variance()
+}
+
+// Autocorrelation returns the sample autocorrelation function of xs for
+// lags 0..maxLag inclusive (so the result has maxLag+1 entries), using the
+// standard biased estimator
+//
+//	r(k) = Σ_{t} (x_t − x̄)(x_{t+k} − x̄) / Σ_t (x_t − x̄)²
+//
+// This is the statistic behind the paper's Figure 2, where roundtrip times
+// separated by 89 pings (~90 s of IGRP updates) correlate strongly.
+// maxLag is clipped to len(xs)−1. A constant series returns r(0)=1 and 0
+// for all other lags.
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		maxLag = 0
+	}
+	mean := Mean(xs)
+	var denom float64
+	centered := make([]float64, n)
+	for i, x := range xs {
+		centered[i] = x - mean
+		denom += centered[i] * centered[i]
+	}
+	out := make([]float64, maxLag+1)
+	if denom == 0 {
+		out[0] = 1
+		return out
+	}
+	for k := 0; k <= maxLag; k++ {
+		var num float64
+		for t := 0; t+k < n; t++ {
+			num += centered[t] * centered[t+k]
+		}
+		out[k] = num / denom
+	}
+	return out
+}
+
+// PeakLag returns the lag in [lo, hi] (inclusive) with the largest
+// autocorrelation value, ignoring lag 0. It returns -1 if the range is
+// empty or out of bounds.
+func PeakLag(acf []float64, lo, hi int) int {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi >= len(acf) {
+		hi = len(acf) - 1
+	}
+	if lo > hi {
+		return -1
+	}
+	best, bestLag := math.Inf(-1), -1
+	for k := lo; k <= hi; k++ {
+		if acf[k] > best {
+			best, bestLag = acf[k], k
+		}
+	}
+	return bestLag
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy/R default).
+// It returns NaN for empty input and panics for q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Histogram is a fixed-width binned count over [Lo, Hi). Values outside
+// the range are tallied in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int
+	Over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs bins > 0")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add tallies one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Counts) { // guard against floating-point edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations Added, including out-of-range.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// Mode returns the index of the fullest bin (ties to the lowest index).
+func (h *Histogram) Mode() int {
+	best, idx := -1, 0
+	for i, c := range h.Counts {
+		if c > best {
+			best, idx = c, i
+		}
+	}
+	return idx
+}

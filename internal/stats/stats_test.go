@@ -1,0 +1,404 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"routesync/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.N() != 0 || !math.IsNaN(r.Mean()) || !math.IsNaN(r.Variance()) ||
+		!math.IsNaN(r.Min()) || !math.IsNaN(r.Max()) {
+		t.Fatal("zero-value Running should report NaN statistics")
+	}
+}
+
+func TestRunningBasic(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !almostEq(r.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", r.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if !almostEq(r.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", r.Variance(), 32.0/7.0)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleObservation(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.Mean() != 3.5 || !math.IsNaN(r.Variance()) {
+		t.Fatalf("single obs: mean=%v var=%v", r.Mean(), r.Variance())
+	}
+}
+
+// TestRunningMatchesDirect cross-checks Welford against the two-pass
+// formula on random data.
+func TestRunningMatchesDirect(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(500)
+		xs := make([]float64, n)
+		var run Running
+		for i := range xs {
+			xs[i] = r.Uniform(-100, 100)
+			run.Add(xs[i])
+		}
+		return almostEq(run.Mean(), Mean(xs), 1e-9) &&
+			almostEq(run.Variance(), Variance(xs), 1e-6)
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		nA, nB := 1+r.Intn(100), 1+r.Intn(100)
+		var a, b, all Running
+		for i := 0; i < nA; i++ {
+			x := r.Uniform(0, 50)
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < nB; i++ {
+			x := r.Uniform(-50, 0)
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			almostEq(a.Mean(), all.Mean(), 1e-9) &&
+			almostEq(a.Variance(), all.Variance(), 1e-6) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(3)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatal("merge with empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestMeanVarianceEdge(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of one value should be NaN")
+	}
+}
+
+func TestAutocorrelationLagZero(t *testing.T) {
+	xs := []float64{1, 5, 2, 8, 3}
+	acf := Autocorrelation(xs, 3)
+	if !almostEq(acf[0], 1, 1e-12) {
+		t.Fatalf("acf[0] = %v, want 1", acf[0])
+	}
+	if len(acf) != 4 {
+		t.Fatalf("len(acf) = %d, want 4", len(acf))
+	}
+}
+
+func TestAutocorrelationPeriodicSignal(t *testing.T) {
+	// A signal with period 10 must peak at lag 10 — the Fig 2 mechanism
+	// (RTT spikes every ~89 pings peak the ACF at lag 89).
+	const period = 10
+	xs := make([]float64, 400)
+	for i := range xs {
+		if i%period == 0 {
+			xs[i] = 2.0 // "dropped ping" sentinel, as in the paper
+		} else {
+			xs[i] = 0.05
+		}
+	}
+	acf := Autocorrelation(xs, 50)
+	if got := PeakLag(acf, 2, 50); got != period {
+		t.Fatalf("PeakLag = %d, want %d", got, period)
+	}
+	if acf[period] < 0.9 {
+		t.Fatalf("acf[%d] = %v, want near 1", period, acf[period])
+	}
+	if acf[period/2] > 0.2 {
+		t.Fatalf("acf at half period = %v, want near 0 or negative", acf[period/2])
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	acf := Autocorrelation([]float64{4, 4, 4, 4}, 2)
+	if acf[0] != 1 || acf[1] != 0 || acf[2] != 0 {
+		t.Fatalf("constant series acf = %v", acf)
+	}
+}
+
+func TestAutocorrelationEmptyAndClipping(t *testing.T) {
+	if Autocorrelation(nil, 5) != nil {
+		t.Fatal("empty input should return nil")
+	}
+	acf := Autocorrelation([]float64{1, 2, 3}, 100)
+	if len(acf) != 3 {
+		t.Fatalf("maxLag should clip to n−1; len = %d", len(acf))
+	}
+	acf = Autocorrelation([]float64{1, 2, 3}, -2)
+	if len(acf) != 1 {
+		t.Fatalf("negative maxLag should clip to 0; len = %d", len(acf))
+	}
+}
+
+// TestAutocorrelationBounds: |r(k)| <= 1 + ε for random data.
+func TestAutocorrelationBounds(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Uniform(-10, 10)
+		}
+		for _, v := range Autocorrelation(xs, n/2) {
+			if math.Abs(v) > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakLagOutOfRange(t *testing.T) {
+	acf := []float64{1, 0.5, 0.2}
+	if got := PeakLag(acf, 5, 10); got != -1 {
+		t.Fatalf("PeakLag out of range = %d, want -1", got)
+	}
+	if got := PeakLag(acf, 0, 2); got != 1 {
+		t.Fatalf("PeakLag should skip lag 0; got %d", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 9 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Median(xs); !almostEq(got, 3.5, 1e-12) {
+		t.Fatalf("median = %v, want 3.5", got)
+	}
+	if got := Quantile([]float64{7}, 0.73); got != 7 {
+		t.Fatalf("singleton quantile = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(1.5) did not panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+// TestQuantileMonotonic: quantiles are nondecreasing in q.
+func TestQuantileMonotonic(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Uniform(-5, 5)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.999, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d, want 1/2", h.Under, h.Over)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bin %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Mode() != 0 {
+		t.Fatalf("mode = %d", h.Mode())
+	}
+	if !almostEq(h.BinCenter(0), 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+}
+
+func TestHistogramConservation(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rng.New(seed)
+		h := NewHistogram(-1, 1, 1+r.Intn(20))
+		n := 100 + r.Intn(1000)
+		for i := 0; i < n; i++ {
+			h.Add(r.Uniform(-2, 2))
+		}
+		sum := h.Under + h.Over
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == n && h.Total() == n
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad histogram construction did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Append(1, 10)
+	s.Append(2, math.Inf(1))
+	s.Append(3, 5)
+	s.Append(4, math.NaN())
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	lo, hi := s.YRange()
+	if lo != 5 || hi != 10 {
+		t.Fatalf("YRange = %v,%v, want 5,10", lo, hi)
+	}
+}
+
+func TestSeriesYRangeAllBad(t *testing.T) {
+	var s Series
+	s.Append(1, math.NaN())
+	lo, hi := s.YRange()
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("YRange of all-NaN should be NaN,NaN")
+	}
+}
+
+func TestSeriesClampY(t *testing.T) {
+	var s Series
+	s.Append(0, 1e15)
+	s.Append(1, math.Inf(1))
+	s.Append(2, 7)
+	c := s.ClampY(1e12)
+	if c.Y[0] != 1e12 || c.Y[1] != 1e12 || c.Y[2] != 7 {
+		t.Fatalf("ClampY = %v", c.Y)
+	}
+	if s.Y[0] != 1e15 {
+		t.Fatal("ClampY mutated the original")
+	}
+}
+
+func TestSeriesDownsample(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i*i))
+	}
+	d := s.Downsample(3)
+	if d.Len() != 4 || d.X[1] != 3 || d.Y[3] != 81 {
+		t.Fatalf("Downsample = %+v", d)
+	}
+	if s.Downsample(0).Len() != s.Len() {
+		t.Fatal("Downsample(0) should behave like 1")
+	}
+}
+
+func TestSeriesBinMax(t *testing.T) {
+	var s Series
+	pts := [][2]float64{{0.1, 1}, {0.5, 3}, {0.9, 2}, {1.2, 7}, {2.5, 4}, {2.6, 9}}
+	for _, p := range pts {
+		s.Append(p[0], p[1])
+	}
+	b := s.BinMax(1.0)
+	if b.Len() != 3 {
+		t.Fatalf("BinMax bins = %d, want 3 (%+v)", b.Len(), b)
+	}
+	if b.Y[0] != 3 || b.Y[1] != 7 || b.Y[2] != 9 {
+		t.Fatalf("BinMax Y = %v", b.Y)
+	}
+	if b.X[0] != 0 || b.X[1] != 1 || b.X[2] != 2 {
+		t.Fatalf("BinMax X = %v", b.X)
+	}
+}
+
+func TestSeriesBinMaxEmpty(t *testing.T) {
+	var s Series
+	if s.BinMax(1).Len() != 0 {
+		t.Fatal("BinMax on empty series should be empty")
+	}
+}
+
+func BenchmarkAutocorrelation1000x100(b *testing.B) {
+	r := rng.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Autocorrelation(xs, 100)
+	}
+}

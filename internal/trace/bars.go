@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bars renders a horizontal ASCII bar chart: one labelled row per value.
+// Values must be non-negative; NaN/Inf render as "n/a". Width is the
+// maximum bar length in characters (default 40).
+func Bars(labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("trace: Bars needs one label per value")
+	}
+	if width <= 0 {
+		width = 40
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	max := 0.0
+	for _, v := range values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) && v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		v := values[i]
+		b.WriteString(fmt.Sprintf("%-*s |", labelW, l))
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			b.WriteString(" n/a\n")
+			continue
+		}
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		b.WriteString(strings.Repeat("#", n))
+		b.WriteString(fmt.Sprintf(" %.4g\n", v))
+	}
+	return b.String()
+}
+
+// Table renders rows as an aligned text table with a header line.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		if len(row) != len(headers) {
+			panic("trace: Table row width mismatch")
+		}
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(fmt.Sprintf("%-*s", widths[i], cell))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarsBasic(t *testing.T) {
+	out := Bars([]string{"a", "bb"}, []float64{10, 5}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.Contains(lines[0], "##########") {
+		t.Fatalf("max bar not full width: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "#####") || strings.Contains(lines[1], "######") {
+		t.Fatalf("half bar wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "10") || !strings.Contains(lines[1], "5") {
+		t.Fatal("values missing")
+	}
+	// labels aligned
+	if !strings.HasPrefix(lines[0], "a  |") || !strings.HasPrefix(lines[1], "bb |") {
+		t.Fatalf("alignment wrong: %q / %q", lines[0], lines[1])
+	}
+}
+
+func TestBarsSpecialValues(t *testing.T) {
+	out := Bars([]string{"nan", "inf", "zero"}, []float64{math.NaN(), math.Inf(1), 0}, 10)
+	if strings.Count(out, "n/a") != 2 {
+		t.Fatalf("out = %q", out)
+	}
+	if !strings.Contains(out, "zero |") {
+		t.Fatalf("zero row missing: %q", out)
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := Bars([]string{"a"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero value drew a bar: %q", out)
+	}
+}
+
+func TestBarsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched labels did not panic")
+		}
+	}()
+	Bars([]string{"a"}, []float64{1, 2}, 10)
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"id", "value"}, [][]string{
+		{"fig01", "3.3%"},
+		{"fig15", "flip at 27"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "id   ") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "-----") {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "flip at 27") {
+		t.Fatalf("row = %q", lines[3])
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged row did not panic")
+		}
+	}()
+	Table([]string{"a", "b"}, [][]string{{"only-one"}})
+}

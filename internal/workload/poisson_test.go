@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"routesync/internal/netsim"
+)
+
+func TestPoissonRate(t *testing.T) {
+	n, nodes := pingPath(20, nil)
+	p := NewPoissonSource(nodes[0], nodes[2], PoissonConfig{Rate: 100, Duration: 100, Seed: 1})
+	p.Start(0)
+	n.RunUntil(200)
+	sent := float64(p.Sent())
+	if math.Abs(sent-10000)/10000 > 0.05 {
+		t.Fatalf("sent %v packets in 100 s at 100 pps, want ~10000", sent)
+	}
+	if p.Received() != p.Sent() {
+		t.Fatalf("lossless path lost packets: %d/%d", p.Received(), p.Sent())
+	}
+	if p.LossRate() != 0 {
+		t.Fatalf("loss rate = %v", p.LossRate())
+	}
+}
+
+func TestPoissonInterArrivalDistribution(t *testing.T) {
+	// The arrival count in disjoint 1-second windows should have
+	// variance ≈ mean (Poisson property). A crude index-of-dispersion
+	// check guards against accidentally-regular arrivals.
+	n := netsim.NewNetwork(2)
+	nodes := n.BuildChain([]string{"a", "b"}, nil, netsim.LinkConfig{})
+	var windows []int
+	count := 0
+	next := 1.0
+	nodes[1].OnDeliver = map[netsim.Kind]func(*netsim.Packet){}
+	p := NewPoissonSource(nodes[0], nodes[1], PoissonConfig{Rate: 20, Duration: 200, Seed: 3})
+	// wrap the existing handler to bin arrivals by time
+	inner := nodes[1].OnDeliver[netsim.KindData]
+	nodes[1].OnDeliver[netsim.KindData] = func(pkt *netsim.Packet) {
+		for n.Sim.Now() >= next {
+			windows = append(windows, count)
+			count = 0
+			next++
+		}
+		count++
+		if inner != nil {
+			inner(pkt)
+		}
+	}
+	p.Start(0)
+	n.RunUntil(250)
+	if len(windows) < 150 {
+		t.Fatalf("too few windows: %d", len(windows))
+	}
+	var sum, sumSq float64
+	for _, c := range windows {
+		sum += float64(c)
+		sumSq += float64(c) * float64(c)
+	}
+	mean := sum / float64(len(windows))
+	variance := sumSq/float64(len(windows)) - mean*mean
+	dispersion := variance / mean
+	if dispersion < 0.7 || dispersion > 1.4 {
+		t.Fatalf("index of dispersion = %v, want ~1 (Poisson)", dispersion)
+	}
+}
+
+func TestPoissonLossThroughBusyRouter(t *testing.T) {
+	n, nodes := pingPath(4, &netsim.CPUConfig{Mode: netsim.CPUModeLegacy})
+	p := NewPoissonSource(nodes[0], nodes[2], PoissonConfig{Rate: 200, Duration: 30, Seed: 4})
+	p.Start(0)
+	// Stall the router for 3 of the 30 seconds: ~10% loss expected.
+	n.Sim.Schedule(10, "occupy", func() { nodes[1].CPU.Occupy(3) })
+	n.RunUntil(60)
+	loss := p.LossRate()
+	if loss < 0.05 || loss > 0.15 {
+		t.Fatalf("loss rate = %v, want ~0.10", loss)
+	}
+	// Per-node accounting: the router dropped them.
+	st := nodes[1].Stats()
+	if st.Dropped[netsim.DropCPUBusy] == 0 {
+		t.Fatal("router stats show no cpu-busy drops")
+	}
+}
+
+func TestPoissonChainsWithExistingHandler(t *testing.T) {
+	// A Poisson sink must not clobber another flow's delivery handler.
+	n, nodes := pingPath(5, nil)
+	got := 0
+	nodes[2].OnDeliver = map[netsim.Kind]func(*netsim.Packet){
+		netsim.KindData: func(pkt *netsim.Packet) { got++ },
+	}
+	other := n.NewNode("other", nil)
+	n.Connect(other, nodes[1], netsim.LinkConfig{})
+	n.InstallStaticRoutes()
+	p := NewPoissonSource(other, nodes[2], PoissonConfig{Rate: 50, Duration: 10, Seed: 5})
+	p.Start(0)
+	// A data packet from the original src must still reach the old handler.
+	n.Sim.Schedule(1, "inject", func() {
+		n.Inject(n.NewPacket(netsim.KindData, nodes[0].ID, nodes[2].ID, 100))
+	})
+	n.RunUntil(30)
+	if got != 1 {
+		t.Fatalf("existing handler starved: got %d", got)
+	}
+	if p.Received() == 0 {
+		t.Fatal("poisson sink got nothing")
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	n := netsim.NewNetwork(6)
+	nodes := n.BuildChain([]string{"a", "b"}, nil, netsim.LinkConfig{})
+	for _, cfg := range []PoissonConfig{
+		{Rate: 0, Duration: 10},
+		{Rate: 10, Duration: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid poisson config did not panic")
+				}
+			}()
+			NewPoissonSource(nodes[0], nodes[1], cfg)
+		}()
+	}
+}
+
+func TestNodeStatsCounters(t *testing.T) {
+	n, nodes := pingPath(7, nil)
+	p := NewPinger(nodes[0], nodes[2], PingConfig{Interval: 1, Count: 10})
+	p.Start(0)
+	n.RunUntil(30)
+	mid := nodes[1].Stats()
+	// The transit router forwarded 10 requests and 10 replies.
+	if mid.ForwardedOut != 20 {
+		t.Fatalf("router forwarded %d, want 20", mid.ForwardedOut)
+	}
+	if mid.DeliveredLocal != 0 {
+		t.Fatalf("router delivered %d locally", mid.DeliveredLocal)
+	}
+	dst := nodes[2].Stats()
+	if dst.DeliveredLocal != 10 || dst.Received != 10 {
+		t.Fatalf("dst stats = %+v", dst)
+	}
+	src := nodes[0].Stats()
+	if src.DeliveredLocal != 10 {
+		t.Fatalf("src delivered %d replies", src.DeliveredLocal)
+	}
+}

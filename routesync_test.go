@@ -1,0 +1,60 @@
+package routesync_test
+
+import (
+	"fmt"
+	"testing"
+
+	"routesync"
+)
+
+// TestPublicAPIRoundTrip exercises the exported façade end to end the way
+// the README quick start does.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	params := routesync.PaperParams(0.1, 1)
+	rep, err := routesync.Simulate(params, routesync.SimOptions{Horizon: 3e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Synchronized {
+		t.Fatal("quick-start scenario did not synchronize")
+	}
+
+	a, err := routesync.Analyze(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Regime != routesync.RegimeLow {
+		t.Fatalf("regime = %s, want low for Tr=0.1", a.Regime)
+	}
+
+	plan, err := routesync.PlanJitter(20, 90, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MinTr <= 0 || plan.SafeTr != 45 {
+		t.Fatalf("plan = %+v", plan)
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	if _, err := routesync.Simulate(routesync.Params{}, routesync.SimOptions{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := routesync.Analyze(routesync.Params{N: 1, Tp: 10, Tc: 0.1}); err == nil {
+		t.Fatal("analysis with one router accepted")
+	}
+}
+
+func ExamplePlanJitter() {
+	// The paper's Xerox PARC example: 90-second IGRP timers, ~300 ms to
+	// process each update. How much jitter is needed?
+	plan, err := routesync.PlanJitter(20, 90, 0.3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("minimum jitter: %.0f s, always-safe jitter: %.0f s\n", plan.MinTr, plan.SafeTr)
+	// Output: minimum jitter: 3 s, always-safe jitter: 45 s
+}
