@@ -6,6 +6,7 @@ import (
 	"routesync/internal/jitter"
 	"routesync/internal/markov"
 	"routesync/internal/netsim"
+	"routesync/internal/parallel"
 	"routesync/internal/periodic"
 	"routesync/internal/routing"
 	"routesync/internal/stats"
@@ -142,18 +143,27 @@ func ExtNSweep(tr float64, ns []int, seeds int, horizon float64, seed int64) *Re
 		},
 	}
 	for _, n := range ns {
-		var sum float64
-		reached := 0
-		for s := 0; s < seeds; s++ {
+		// The per-seed replications are independent; run them on the
+		// shared job runner (seeded by index, deterministic for any
+		// worker count).
+		times := parallel.Run(seeds, 0, func(s int) float64 {
 			sys := periodic.New(periodic.Config{
 				N: n, Tc: 0.11,
 				Jitter: jitter.Uniform{Tp: 121, Tr: tr},
 				Seed:   seed + int64(s),
 			})
 			r := sys.RunUntilSynchronized(horizon)
-			if r.Reached {
+			if !r.Reached {
+				return math.Inf(1)
+			}
+			return r.Time
+		})
+		var sum float64
+		reached := 0
+		for _, t := range times {
+			if !math.IsInf(t, 1) {
 				reached++
-				sum += r.Time
+				sum += t
 			}
 		}
 		if reached == seeds {

@@ -6,6 +6,7 @@ import (
 
 	"routesync/internal/jitter"
 	"routesync/internal/markov"
+	"routesync/internal/parallel"
 	"routesync/internal/periodic"
 	"routesync/internal/stats"
 	"routesync/internal/trace"
@@ -27,6 +28,10 @@ type MarkovConfig struct {
 	Sims int
 	// SimHorizon bounds each simulation run.
 	SimHorizon float64
+	// Jobs bounds the workers running replications concurrently; zero
+	// or negative means one per CPU. Replication s always uses seed
+	// Seed+s, so results are identical for every Jobs value.
+	Jobs int
 }
 
 // Defaults fills zero fields with the paper's values.
@@ -129,27 +134,52 @@ func Fig10(c MarkovConfig, tr float64) *Result {
 	return r
 }
 
-// simFirstPassageUp averages FirstPassageUp over c.Sims seeds.
+// simFirstPassageUp averages FirstPassageUp over c.Sims seeds, running
+// the replications on the shared job runner (seed per index, so the
+// averages are identical for any worker count).
 func simFirstPassageUp(c MarkovConfig, tr float64) []float64 {
-	sum := make([]float64, c.N+1)
-	count := make([]int, c.N+1)
-	for s := 0; s < c.Sims; s++ {
+	perSim := parallel.Run(c.Sims, c.Jobs, func(s int) []float64 {
 		sys := periodic.New(periodic.Config{
 			N: c.N, Tc: c.Tc,
 			Jitter: jitter.Uniform{Tp: c.Tp, Tr: tr},
 			Seed:   c.Seed + int64(s),
 		})
-		times := sys.FirstPassageUp(c.SimHorizon)
-		for i := 1; i <= c.N; i++ {
+		return sys.FirstPassageUp(c.SimHorizon)
+	})
+	return averagePassages(perSim, c.N, c.Sims)
+}
+
+// simFirstPassageDown is the synchronized-start counterpart used by
+// Figure 11.
+func simFirstPassageDown(c MarkovConfig, tr float64) []float64 {
+	perSim := parallel.Run(c.Sims, c.Jobs, func(s int) []float64 {
+		sys := periodic.New(periodic.Config{
+			N: c.N, Tc: c.Tc,
+			Jitter: jitter.Uniform{Tp: c.Tp, Tr: tr},
+			Start:  periodic.StartSynchronized,
+			Seed:   c.Seed + int64(s),
+		})
+		return sys.FirstPassageDown(c.SimHorizon)
+	})
+	return averagePassages(perSim, c.N, c.Sims)
+}
+
+// averagePassages reduces per-replication first-passage vectors to the
+// mean over sizes every run reached; unreached sizes stay +Inf.
+func averagePassages(perSim [][]float64, n, sims int) []float64 {
+	sum := make([]float64, n+1)
+	count := make([]int, n+1)
+	for _, times := range perSim {
+		for i := 1; i <= n; i++ {
 			if !math.IsInf(times[i], 1) {
 				sum[i] += times[i]
 				count[i]++
 			}
 		}
 	}
-	avg := make([]float64, c.N+1)
-	for i := 1; i <= c.N; i++ {
-		if count[i] == c.Sims { // average only sizes every run reached
+	avg := make([]float64, n+1)
+	for i := 1; i <= n; i++ {
+		if count[i] == sims { // average only sizes every run reached
 			avg[i] = sum[i] / float64(count[i])
 		} else {
 			avg[i] = math.Inf(1)
@@ -178,32 +208,16 @@ func Fig11(c MarkovConfig, tr float64) *Result {
 		Plot:   trace.PlotOptions{XLabel: "time (s)", YLabel: "cluster size i"},
 	}
 	if c.Sims > 0 {
-		sum := make([]float64, c.N+1)
-		count := make([]int, c.N+1)
-		for s := 0; s < c.Sims; s++ {
-			sys := periodic.New(periodic.Config{
-				N: c.N, Tc: c.Tc,
-				Jitter: jitter.Uniform{Tp: c.Tp, Tr: tr},
-				Start:  periodic.StartSynchronized,
-				Seed:   c.Seed + int64(s),
-			})
-			times := sys.FirstPassageDown(c.SimHorizon)
-			for i := 1; i <= c.N; i++ {
-				if !math.IsInf(times[i], 1) {
-					sum[i] += times[i]
-					count[i]++
-				}
-			}
-		}
+		avg := simFirstPassageDown(c, tr)
 		sim := stats.Series{Name: "simulation mean"}
 		for i := c.N; i >= 1; i-- {
-			if count[i] == c.Sims {
-				sim.Append(sum[i]/float64(count[i]), float64(i))
+			if !math.IsInf(avg[i], 1) {
+				sim.Append(avg[i], float64(i))
 			}
 		}
 		r.Series = append(r.Series, sim)
-		if count[1] == c.Sims && sum[1] > 0 {
-			ratio := g[1] * ch.RoundSeconds() / (sum[1] / float64(count[1]))
+		if !math.IsInf(avg[1], 1) && avg[1] > 0 {
+			ratio := g[1] * ch.RoundSeconds() / avg[1]
 			r.Notef("analysis/simulation ratio at i=1: %.2f (paper: 2–3×)", ratio)
 		}
 	}
@@ -244,45 +258,50 @@ func Fig12(c MarkovConfig, trOverTcLo, trOverTcHi, step float64) *Result {
 		if seeds > 3 {
 			seeds = 3 // per-point replication; the paper plots single runs
 		}
-		syncMarks := stats.Series{Name: "sim: unsync start (X)"}
-		for _, m := range []float64{0.6, 0.8, 1.0} {
-			var sum float64
-			reached := 0
-			for s := 0; s < seeds; s++ {
+		// Each mark averages up to `seeds` replications; the replications
+		// run on the job runner, seeded by index as everywhere else.
+		mark := func(m float64, start periodic.StartState,
+			run func(sys *periodic.System) periodic.SyncResult) (float64, bool) {
+			times := parallel.Run(seeds, c.Jobs, func(s int) float64 {
 				sys := periodic.New(periodic.Config{
 					N: c.N, Tc: c.Tc,
 					Jitter: jitter.Uniform{Tp: c.Tp, Tr: m * c.Tc},
+					Start:  start,
 					Seed:   c.Seed + int64(s),
 				})
-				res := sys.RunUntilSynchronized(c.SimHorizon)
-				if res.Reached {
+				res := run(sys)
+				if !res.Reached {
+					return math.Inf(1)
+				}
+				return res.Time
+			})
+			var sum float64
+			reached := 0
+			for _, t := range times {
+				if !math.IsInf(t, 1) {
 					reached++
-					sum += res.Time
+					sum += t
 				}
 			}
-			if reached > 0 {
-				syncMarks.Append(m, sum/float64(reached))
+			if reached == 0 {
+				return 0, false
+			}
+			return sum / float64(reached), true
+		}
+		syncMarks := stats.Series{Name: "sim: unsync start (X)"}
+		for _, m := range []float64{0.6, 0.8, 1.0} {
+			if mean, ok := mark(m, periodic.StartUnsynchronized, func(sys *periodic.System) periodic.SyncResult {
+				return sys.RunUntilSynchronized(c.SimHorizon)
+			}); ok {
+				syncMarks.Append(m, mean)
 			}
 		}
 		breakMarks := stats.Series{Name: "sim: sync start (+)"}
 		for _, m := range []float64{2.6, 3.0, 3.5, 4.0} {
-			var sum float64
-			reached := 0
-			for s := 0; s < seeds; s++ {
-				sys := periodic.New(periodic.Config{
-					N: c.N, Tc: c.Tc,
-					Jitter: jitter.Uniform{Tp: c.Tp, Tr: m * c.Tc},
-					Start:  periodic.StartSynchronized,
-					Seed:   c.Seed + int64(s),
-				})
-				res := sys.RunUntilBroken(2, c.SimHorizon)
-				if res.Reached {
-					reached++
-					sum += res.Time
-				}
-			}
-			if reached > 0 {
-				breakMarks.Append(m, sum/float64(reached))
+			if mean, ok := mark(m, periodic.StartSynchronized, func(sys *periodic.System) periodic.SyncResult {
+				return sys.RunUntilBroken(2, c.SimHorizon)
+			}); ok {
+				breakMarks.Append(m, mean)
 			}
 		}
 		r.Series = append(r.Series, syncMarks, breakMarks)

@@ -2,9 +2,8 @@ package periodic
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
+	"routesync/internal/parallel"
 	"routesync/internal/stats"
 )
 
@@ -47,26 +46,21 @@ func summarize(times []float64, total int) EnsembleResult {
 	return res
 }
 
-// runEnsemble executes fn for seeds base..base+replications−1 across
-// all CPUs, collecting the finite results in seed order.
+// EnsembleJobs bounds the worker count used by the ensemble helpers;
+// zero or negative means one worker per CPU. Results are identical for
+// every value (see internal/parallel); the knob exists so tests and
+// embedding tools can pin or serialize the pool.
+var EnsembleJobs = 0
+
+// runEnsemble executes fn for seeds base..base+replications−1 on the
+// shared job runner, collecting the finite results in seed order.
 func runEnsemble(replications int, base int64, fn func(seed int64) float64) []float64 {
 	if replications < 1 {
 		panic("periodic: ensemble needs at least one replication")
 	}
-	out := make([]float64, replications)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := 0; i < replications; i++ {
-		i := i
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = fn(base + int64(i))
-		}()
-	}
-	wg.Wait()
+	out := parallel.Run(replications, EnsembleJobs, func(i int) float64 {
+		return fn(base + int64(i))
+	})
 	var times []float64
 	for _, t := range out {
 		if !math.IsInf(t, 1) {

@@ -47,6 +47,30 @@ func TestEnsembleDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
+func TestEnsembleSyncByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	// Same config and seed must give elementwise-identical times whether
+	// the pool runs serial or wide: replication i is seeded by index, so
+	// worker scheduling cannot leak into the results.
+	defer func() { EnsembleJobs = 0 }()
+	cfg := Paper(10, 0.1, 5)
+	EnsembleJobs = 1
+	serial := EnsembleSync(cfg, 4, 5e5)
+	EnsembleJobs = 4
+	wide := EnsembleSync(cfg, 4, 5e5)
+	if serial.Reached != wide.Reached || len(serial.Times) != len(wide.Times) {
+		t.Fatalf("jobs=1 vs jobs=4 differ: %+v vs %+v", serial, wide)
+	}
+	for i := range serial.Times {
+		if serial.Times[i] != wide.Times[i] {
+			t.Fatalf("time %d: jobs=1 %v, jobs=4 %v", i, serial.Times[i], wide.Times[i])
+		}
+	}
+	same := func(a, b float64) bool { return a == b || (math.IsNaN(a) && math.IsNaN(b)) }
+	if !same(serial.Mean, wide.Mean) || !same(serial.Median, wide.Median) {
+		t.Fatalf("summaries differ: %+v vs %+v", serial, wide)
+	}
+}
+
 func TestEnsembleBreakHighJitter(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replicated runs")
