@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"routesync/internal/bench"
+)
+
+// benchFileName is this PR's entry in the benchmark trajectory; the
+// number advances with the PR sequence so successive snapshots sit side
+// by side in out/.
+const benchFileName = "BENCH_0002.json"
+
+// benchResult is one micro-benchmark measurement.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchFile is the BENCH_NNNN.json schema: the hot-path micro-benchmarks
+// plus an echo of the latest full-run TIMINGS.json, so one file carries
+// both the micro (ns/op, allocs/op) and macro (per-driver wall time)
+// trajectory for cross-PR comparison.
+type benchFile struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	Timings    *timingsFile  `json:"timings,omitempty"`
+}
+
+// runBench executes the shared micro-benchmark bodies under
+// testing.Benchmark and writes <outDir>/BENCH_0002.json.
+func runBench(outDir string) error {
+	cases := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"DESScheduleStep", bench.DESScheduleStep},
+		{"DESScheduleCancel", bench.DESScheduleCancel},
+		{"DESTicker", bench.DESTicker},
+		{"TickerStorm", bench.TickerStorm},
+		{"PeriodicStep/N=20", func(b *testing.B) { bench.PeriodicStep(b, 20) }},
+		{"PeriodicStep/N=100", func(b *testing.B) { bench.PeriodicStep(b, 100) }},
+		{"PeriodicStep/N=1000", func(b *testing.B) { bench.PeriodicStep(b, 1000) }},
+		{"ClusterGrow/N=20", func(b *testing.B) { bench.ClusterGrow(b, 20) }},
+		{"ClusterGrow/N=1000", func(b *testing.B) { bench.ClusterGrow(b, 1000) }},
+		{"ClusterGrowSorted/N=1000", func(b *testing.B) { bench.ClusterGrowSorted(b, 1000) }},
+		{"ClusterPartition/N=1000", func(b *testing.B) { bench.ClusterPartition(b, 1000) }},
+	}
+	bf := benchFile{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		res := benchResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		bf.Benchmarks = append(bf.Benchmarks, res)
+		fmt.Printf("%-26s %14.1f ns/op %10d B/op %8d allocs/op\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	// Attach the most recent full-run driver timings, if a full run has
+	// been recorded in this output directory.
+	if buf, err := os.ReadFile(filepath.Join(outDir, "TIMINGS.json")); err == nil {
+		var tf timingsFile
+		if json.Unmarshal(buf, &tf) == nil {
+			bf.Timings = &tf
+		}
+	}
+	buf, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, benchFileName)
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	figures [-out dir] [-quick] [-only fig04,fig12] [-jobs n]
+//	figures -bench [-out dir]
+//
+// -bench skips the figure drivers and instead runs the hot-path
+// micro-benchmarks (internal/bench), writing <out>/BENCH_0002.json —
+// ns/op and allocs/op per benchmark plus an echo of the latest full-run
+// TIMINGS.json, the cross-PR performance-regression trajectory.
+// -cpuprofile/-memprofile capture pprof profiles of either mode.
 //
 // The default (paper-scale) run uses the paper's horizons — notably the
 // 10^7-second sweeps of Figures 7 and 8 — and takes a few minutes.
@@ -23,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -66,14 +75,59 @@ type timingsFile struct {
 	Drivers      []driverTiming `json:"drivers"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; it returns the exit code instead of calling
+// os.Exit so the profiling defers below always flush.
+func run() int {
 	var (
-		out   = flag.String("out", "out", "output directory")
-		quick = flag.Bool("quick", false, "reduced horizons and replications")
-		only  = flag.String("only", "", "comma-separated figure ids to run (default all)")
-		jobs  = flag.Int("jobs", 0, "max concurrent figure drivers (0 = one per CPU)")
+		out     = flag.String("out", "out", "output directory")
+		quick   = flag.Bool("quick", false, "reduced horizons and replications")
+		only    = flag.String("only", "", "comma-separated figure ids to run (default all)")
+		jobs    = flag.Int("jobs", 0, "max concurrent figure drivers (0 = one per CPU)")
+		doBench = flag.Bool("bench", false, "run hot-path micro-benchmarks and write "+benchFileName+" instead of figures")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				return
+			}
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+			}
+			f.Close()
+		}()
+	}
+
+	if *doBench {
+		if err := runBench(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			return 1
+		}
+		return 0
+	}
 
 	model := experiments.ModelConfig{Horizon: 1e5}
 	sweepHorizon := 1e7
@@ -179,7 +233,7 @@ func main() {
 	active, err := selectDrivers(drivers, *only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
+		return 1
 	}
 	partial := len(active) != len(drivers)
 
@@ -219,7 +273,7 @@ func main() {
 	})
 	total := time.Since(t0)
 	if failed {
-		os.Exit(1)
+		return 1
 	}
 
 	// A partial -only run must not clobber the full-run index or the
@@ -227,7 +281,7 @@ func main() {
 	if !partial {
 		if err := os.WriteFile(filepath.Join(*out, "INDEX.md"), []byte(index.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			return 1
 		}
 		tf := timingsFile{
 			Quick:        *quick,
@@ -242,11 +296,12 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	fmt.Printf("\nwrote %d figures to %s/ in %v (%d workers)\n",
 		len(active), *out, total.Round(time.Millisecond), parallel.Workers(*jobs))
+	return 0
 }
 
 // selectDrivers filters the registry by the -only flag, preserving

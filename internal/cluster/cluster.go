@@ -48,18 +48,26 @@ func (c Cluster) IDs() []int {
 // non-empty; Tc must be > 0 for any multi-member cluster to form (Tc = 0
 // yields only exact ties).
 //
-// Grow does not mutate pending.
+// Grow does not mutate pending. It is the reference implementation — the
+// heap-based engine in internal/periodic is differential-tested against
+// it — and is equivalent to sorting pending and calling GrowSorted.
 func Grow(pending []Member, tc float64) Cluster {
 	if len(pending) == 0 {
 		panic("cluster: Grow with no pending members")
 	}
 	sorted := append([]Member(nil), pending...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Expiry != sorted[j].Expiry {
-			return sorted[i].Expiry < sorted[j].Expiry
-		}
-		return sorted[i].ID < sorted[j].ID // deterministic tie-break
-	})
+	SortMembers(sorted)
+	return GrowSorted(sorted, tc)
+}
+
+// GrowSorted is Grow's fast path for input already sorted by (Expiry, ID)
+// ascending: no copy, no sort — one linear scan. The returned Cluster's
+// Members slice aliases sorted; callers that mutate the input afterwards
+// must copy first.
+func GrowSorted(sorted []Member, tc float64) Cluster {
+	if len(sorted) == 0 {
+		panic("cluster: GrowSorted with no pending members")
+	}
 	t := sorted[0].Expiry
 	k := 1
 	for k < len(sorted) {
@@ -76,20 +84,28 @@ func Grow(pending []Member, tc float64) Cluster {
 	}
 }
 
+// SortMembers orders members in place by (Expiry, ID) ascending — the model's
+// deterministic firing order.
+func SortMembers(ms []Member) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Expiry != ms[j].Expiry {
+			return ms[i].Expiry < ms[j].Expiry
+		}
+		return ms[i].ID < ms[j].ID // deterministic tie-break
+	})
+}
+
 // Partition decomposes a full set of expiries into consecutive clusters by
-// repeatedly applying Grow to the earliest remaining members. It is used
-// for post-hoc analysis of a round's state (e.g. counting clusters, sizes).
+// sorting once and repeatedly applying GrowSorted to the remaining tail.
+// It is used for post-hoc analysis of a round's state (e.g. counting
+// clusters, sizes). The returned clusters' Members slices share one
+// backing array private to this call.
 func Partition(pending []Member, tc float64) []Cluster {
 	rest := append([]Member(nil), pending...)
-	sort.Slice(rest, func(i, j int) bool {
-		if rest[i].Expiry != rest[j].Expiry {
-			return rest[i].Expiry < rest[j].Expiry
-		}
-		return rest[i].ID < rest[j].ID
-	})
+	SortMembers(rest)
 	var out []Cluster
 	for len(rest) > 0 {
-		c := Grow(rest, tc)
+		c := GrowSorted(rest, tc)
 		out = append(out, c)
 		rest = rest[c.Size():]
 	}

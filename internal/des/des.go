@@ -7,10 +7,17 @@
 // internal/netsim — runs on this kernel. Determinism matters: given the
 // same seed and the same event program, a simulation must replay exactly,
 // so events scheduled for the same instant fire in scheduling order.
+//
+// The kernel is steady-state allocation-free: events live in a pooled slot
+// array owned by the Simulator and are recycled through a free list, so a
+// long simulation allocates only while the pool grows to the peak
+// concurrent event count. Event handles are generation-counted values —
+// a handle to an event that has fired or been cancelled is recognized as
+// stale (Scheduled reports false, Cancel is a no-op) even if its slot has
+// been reused, so callers may retain handles without lifetime discipline.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -19,58 +26,68 @@ import (
 // sites honest about units without the overhead of a struct.
 type Time = float64
 
-// Event is a scheduled callback. The zero Event is inert.
+// Event is a generation-counted handle to a scheduled callback. It is a
+// small value, cheap to copy and store. The zero Event is inert: it is
+// never Scheduled and cancelling it is a no-op.
 type Event struct {
+	sim  *Simulator
+	slot int32
+	gen  uint32
+}
+
+// event is the pooled storage behind an Event handle.
+type event struct {
 	at    Time
 	seq   uint64 // insertion order; breaks ties deterministically
-	index int    // heap index, -1 when not queued
+	gen   uint32 // bumped on release; stale handles mismatch
+	index int32  // heap index, -1 when not queued
 	fn    func()
 	label string
 }
 
-// At returns the time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// live reports whether the handle still refers to a pending event.
+func (e Event) live() (*event, bool) {
+	if e.sim == nil || int(e.slot) >= len(e.sim.pool) {
+		return nil, false
+	}
+	ev := &e.sim.pool[e.slot]
+	if ev.gen != e.gen || ev.index < 0 {
+		return nil, false
+	}
+	return ev, true
+}
 
-// Label returns the diagnostic label given at scheduling time.
-func (e *Event) Label() string { return e.label }
+// At returns the time the event is scheduled for, or +Inf if the event
+// already fired or was cancelled.
+func (e Event) At() Time {
+	if ev, ok := e.live(); ok {
+		return ev.at
+	}
+	return math.Inf(1)
+}
+
+// Label returns the diagnostic label given at scheduling time, or "" if
+// the event already fired or was cancelled.
+func (e Event) Label() string {
+	if ev, ok := e.live(); ok {
+		return ev.label
+	}
+	return ""
+}
 
 // Scheduled reports whether the event is still pending in its queue.
-func (e *Event) Scheduled() bool { return e.index >= 0 }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+func (e Event) Scheduled() bool {
+	_, ok := e.live()
+	return ok
 }
 
 // Simulator owns a clock and an event queue. It is not safe for concurrent
 // use; a simulation is a single logical thread of control.
 type Simulator struct {
 	now       Time
-	queue     eventHeap
+	pool      []event
+	free      []int32 // recycled pool slots
+	queue     []int32 // binary min-heap of pool slots
 	seq       uint64
 	processed uint64
 	running   bool
@@ -91,10 +108,86 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // Processed returns the number of events executed so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
+// less orders heap slots by (time, insertion order).
+func (s *Simulator) less(a, b int32) bool {
+	ea, eb := &s.pool[a], &s.pool[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+func (s *Simulator) siftUp(i int) {
+	q := s.queue
+	slot := q[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(slot, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		s.pool[q[i]].index = int32(i)
+		i = parent
+	}
+	q[i] = slot
+	s.pool[slot].index = int32(i)
+}
+
+func (s *Simulator) siftDown(i int) {
+	q := s.queue
+	n := len(q)
+	slot := q[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s.less(q[r], q[child]) {
+			child = r
+		}
+		if !s.less(q[child], slot) {
+			break
+		}
+		q[i] = q[child]
+		s.pool[q[i]].index = int32(i)
+		i = child
+	}
+	q[i] = slot
+	s.pool[slot].index = int32(i)
+}
+
+// removeAt deletes the heap entry at index i, restoring heap order.
+func (s *Simulator) removeAt(i int) {
+	n := len(s.queue) - 1
+	last := s.queue[n]
+	s.queue = s.queue[:n]
+	if i == n {
+		return
+	}
+	s.queue[i] = last
+	s.pool[last].index = int32(i)
+	if i > 0 && s.less(last, s.queue[(i-1)/2]) {
+		s.siftUp(i)
+	} else {
+		s.siftDown(i)
+	}
+}
+
+// release returns a slot to the free list, invalidating outstanding
+// handles and dropping the callback reference for the garbage collector.
+func (s *Simulator) release(slot int32) {
+	ev := &s.pool[slot]
+	ev.gen++
+	ev.index = -1
+	ev.fn = nil
+	ev.label = ""
+	s.free = append(s.free, slot)
+}
+
 // Schedule queues fn to run at absolute time at. It panics if at precedes
 // the current clock (scheduling into the past is always a bug) or is NaN.
 // The label is kept for diagnostics and error messages.
-func (s *Simulator) Schedule(at Time, label string, fn func()) *Event {
+func (s *Simulator) Schedule(at Time, label string, fn func()) Event {
 	if math.IsNaN(at) {
 		panic("des: Schedule with NaN time")
 	}
@@ -104,24 +197,39 @@ func (s *Simulator) Schedule(at Time, label string, fn func()) *Event {
 	if fn == nil {
 		panic("des: Schedule with nil fn")
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn, label: label}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.pool = append(s.pool, event{index: -1})
+		slot = int32(len(s.pool) - 1)
+	}
+	ev := &s.pool[slot]
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.label = label
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.queue = append(s.queue, slot)
+	s.siftUp(len(s.queue) - 1)
+	return Event{sim: s, slot: slot, gen: ev.gen}
 }
 
 // After queues fn to run delay seconds from now. Negative delays panic.
-func (s *Simulator) After(delay Time, label string, fn func()) *Event {
+func (s *Simulator) After(delay Time, label string, fn func()) Event {
 	return s.Schedule(s.now+delay, label, fn)
 }
 
 // Cancel removes a pending event from the queue. Cancelling an event that
 // already fired or was already cancelled is a no-op and returns false.
-func (s *Simulator) Cancel(e *Event) bool {
-	if e == nil || e.index < 0 {
+func (s *Simulator) Cancel(e Event) bool {
+	ev, ok := e.live()
+	if !ok || e.sim != s {
 		return false
 	}
-	heap.Remove(&s.queue, e.index)
+	s.removeAt(int(ev.index))
+	s.release(e.slot)
 	return true
 }
 
@@ -131,10 +239,14 @@ func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
-	s.now = e.at
+	slot := s.queue[0]
+	s.removeAt(0)
+	ev := &s.pool[slot]
+	s.now = ev.at
+	fn := ev.fn
+	s.release(slot)
 	s.processed++
-	e.fn()
+	fn()
 	return true
 }
 
@@ -157,7 +269,7 @@ func (s *Simulator) RunUntil(horizon Time) uint64 {
 
 	var n uint64
 	for len(s.queue) > 0 && !s.stopped {
-		if s.queue[0].at > horizon {
+		if s.pool[s.queue[0]].at > horizon {
 			break
 		}
 		s.Step()
@@ -195,11 +307,15 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Ticker schedules fn repeatedly. The next interval is obtained from the
 // period callback after each firing, which is how jittered routing timers
 // are expressed (the period callback draws from the jitter policy).
+//
+// The re-arm closure is allocated once at construction, so a running
+// ticker adds no per-firing garbage beyond the kernel's pooled event.
 type Ticker struct {
 	sim    *Simulator
-	event  *Event
+	event  Event
 	period func() Time
 	fn     func()
+	fire   func() // hoisted re-arm closure, allocated once
 	label  string
 	stopit bool
 }
@@ -208,6 +324,12 @@ type Ticker struct {
 // now and which re-arms itself with a fresh period() after each firing.
 func (s *Simulator) NewTicker(label string, period func() Time, fn func()) *Ticker {
 	t := &Ticker{sim: s, period: period, fn: fn, label: label}
+	t.fire = func() {
+		t.fn()
+		if !t.stopit {
+			t.arm()
+		}
+	}
 	t.arm()
 	return t
 }
@@ -217,12 +339,7 @@ func (t *Ticker) arm() {
 	if d < 0 {
 		panic("des: ticker period() returned negative delay")
 	}
-	t.event = t.sim.After(d, t.label, func() {
-		t.fn()
-		if !t.stopit {
-			t.arm()
-		}
-	})
+	t.event = t.sim.After(d, t.label, t.fire)
 }
 
 // Stop cancels future firings. If called from within fn it prevents the
@@ -243,8 +360,5 @@ func (t *Ticker) Reset() {
 // NextAt returns the absolute time of the pending firing, or +Inf if the
 // ticker is stopped.
 func (t *Ticker) NextAt() Time {
-	if t.event == nil || !t.event.Scheduled() {
-		return math.Inf(1)
-	}
 	return t.event.At()
 }

@@ -100,15 +100,42 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if s.Cancel(nil) {
-		t.Fatal("Cancel(nil) returned true")
+	if s.Cancel(Event{}) {
+		t.Fatal("Cancel of the zero Event returned true")
 	}
+}
+
+// TestStaleHandleAfterReuse checks generation counting: a handle to a
+// fired event must stay stale even after its pool slot is recycled by a
+// later Schedule.
+func TestStaleHandleAfterReuse(t *testing.T) {
+	s := New()
+	first := s.Schedule(1, "first", func() {})
+	s.Run()
+	if first.Scheduled() {
+		t.Fatal("fired event still reports Scheduled")
+	}
+	// The pool has exactly one slot; this reuses it.
+	second := s.Schedule(2, "second", func() {})
+	if first.Scheduled() {
+		t.Fatal("stale handle went live after slot reuse")
+	}
+	if s.Cancel(first) {
+		t.Fatal("stale handle cancelled the recycled slot's event")
+	}
+	if !second.Scheduled() {
+		t.Fatal("fresh handle not scheduled")
+	}
+	if !math.IsInf(first.At(), 1) || first.Label() != "" {
+		t.Fatalf("stale handle At/Label = %v/%q, want +Inf/\"\"", first.At(), first.Label())
+	}
+	s.Run()
 }
 
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New()
 	var got []int
-	events := make([]*Event, 10)
+	events := make([]Event, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		events[i] = s.Schedule(Time(i), "e", func() { got = append(got, i) })
@@ -259,7 +286,7 @@ func TestInterleavedScheduleCancelProperty(t *testing.T) {
 	if err := quick.Check(func(seed int64) bool {
 		r := rng.New(seed)
 		s := New()
-		var live []*Event
+		var live []Event
 		scheduled, cancelled := 0, 0
 		for i := 0; i < 300; i++ {
 			if len(live) > 0 && r.Bernoulli(0.3) {

@@ -48,8 +48,10 @@ func ExtMixedPeriods(tr float64, horizon float64, seed int64) *Result {
 	var events, mixedEvents uint64
 	sampleEvery := 10 * fastTp
 	next := sampleEvery
-	for s.NextExpiry() <= horizon {
+	pending := s.NextExpiry()
+	for pending <= horizon {
 		ev := s.Step()
+		pending = ev.Next
 		events++
 		// Track clusters that span both populations.
 		fast, slow := 0, 0

@@ -66,12 +66,14 @@ func triggeredRun(tr, eventsPerDay, horizon float64, seed int64) float64 {
 	const sampleEvery = 605.55 // 5 rounds
 	nextSample := sampleEvery
 	synced, samples := 0, 0
-	for sys.NextExpiry() <= horizon {
-		sys.Step()
+	next := sys.NextExpiry()
+	for next <= horizon {
+		next = sys.Step().Next
 		now := sys.Now()
 		for nextEvent <= now {
 			sys.TriggerUpdate()
 			nextEvent += r.Exponential(meanGap)
+			next = now // every timer is now pending at the trigger time
 		}
 		for nextSample <= now {
 			samples++

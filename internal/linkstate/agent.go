@@ -45,6 +45,12 @@ type lsdbEntry struct {
 	updated float64
 }
 
+// spfQE is one BFS queue entry: a node and the first hop that reaches it.
+type spfQE struct {
+	id    netsim.NodeID
+	first netsim.NodeID
+}
+
 // Agent is one router's link-state process.
 type Agent struct {
 	node *netsim.Node
@@ -53,9 +59,35 @@ type Agent struct {
 
 	lsdb    map[netsim.NodeID]lsdbEntry
 	seq     uint32
-	timerEv *des.Event
+	timerEv des.Event
 	stats   Stats
 	stopped bool
+
+	// refreshLabel and the hoisted closures below keep the per-firing
+	// steady state allocation-free: one fmt.Sprintf and two closures per
+	// agent lifetime instead of per event.
+	refreshLabel string
+	rearmFn      func()
+	sweepFn      func()
+
+	// nbrCache holds the sorted adjacency list, valid while nbrVer
+	// matches the network topology version. Callers must not mutate it;
+	// rebuilds allocate a fresh slice because the previous one may be
+	// retained inside LSAs already installed in LSDBs.
+	nbrCache []netsim.NodeID
+	nbrVer   uint64
+	nbrOK    bool
+
+	// fibOK/fibVer record whether the FIB reflects the current LSDB and
+	// topology; a refresh LSA whose content is unchanged skips the SPF
+	// run entirely when they are current.
+	fibOK  bool
+	fibVer uint64
+
+	// SPF scratch, reused across runs.
+	adjRows  [][]netsim.NodeID
+	visited  []bool
+	spfQueue []spfQE
 
 	// OnSend, if set, observes every LSA origination (for cluster
 	// detection in experiments).
@@ -82,6 +114,15 @@ func NewAgent(node *netsim.Node, cfg Config) *Agent {
 		r:    rng.New(cfg.Seed ^ int64(node.ID)*0x5DEECE66D),
 		lsdb: make(map[netsim.NodeID]lsdbEntry),
 	}
+	a.refreshLabel = fmt.Sprintf("lsa-refresh(%s)", node.Name)
+	a.rearmFn = a.rearmWhenIdle
+	a.sweepFn = func() {
+		if a.stopped {
+			return
+		}
+		a.sweep()
+		a.scheduleSweep()
+	}
 	node.OnRouting = a.receive
 	return a
 }
@@ -95,36 +136,59 @@ func (a *Agent) Stats() Stats { return a.stats }
 // Stop halts origination and processing; the LSDB is left for inspection.
 func (a *Agent) Stop() {
 	a.stopped = true
-	if a.timerEv != nil {
-		a.node.Net().Sim.Cancel(a.timerEv)
-		a.timerEv = nil
-	}
+	a.node.Net().Sim.Cancel(a.timerEv)
+	a.timerEv = des.Event{}
 	a.node.OnRouting = nil
 }
 
 // neighbors lists the adjacent node ids over all attached media, sorted.
+// The result is cached against the network topology version — refresh
+// originations on a static topology reuse it — and must not be mutated:
+// it is retained inside LSAs installed in LSDBs across the network.
 func (a *Agent) neighbors() []netsim.NodeID {
-	seen := map[netsim.NodeID]bool{}
-	for _, m := range a.node.Media() {
-		switch t := m.(type) {
-		case *netsim.Link:
-			if !t.Down() {
-				seen[t.Peer(a.node).ID] = true
-			}
-		case *netsim.LAN:
-			for _, member := range t.Members() {
-				if member != a.node {
-					seen[member.ID] = true
+	if ver := a.node.Net().TopologyVersion(); !a.nbrOK || a.nbrVer != ver {
+		seen := map[netsim.NodeID]bool{}
+		for _, m := range a.node.Media() {
+			switch t := m.(type) {
+			case *netsim.Link:
+				if !t.Down() {
+					seen[t.Peer(a.node).ID] = true
+				}
+			case *netsim.LAN:
+				for _, member := range t.Members() {
+					if member != a.node {
+						seen[member.ID] = true
+					}
 				}
 			}
 		}
+		out := make([]netsim.NodeID, 0, len(seen))
+		for id := range seen {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		a.nbrCache, a.nbrVer, a.nbrOK = out, ver, true
 	}
-	out := make([]netsim.NodeID, 0, len(seen))
-	for id := range seen {
-		out = append(out, id)
+	return a.nbrCache
+}
+
+// fibCurrent reports whether the FIB still reflects the LSDB and the
+// live topology.
+func (a *Agent) fibCurrent() bool {
+	return a.fibOK && a.fibVer == a.node.Net().TopologyVersion()
+}
+
+// idsEqual compares two sorted adjacency lists.
+func idsEqual(a, b []netsim.NodeID) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Start arms the first refresh to fire startOffset seconds from now.
@@ -133,8 +197,7 @@ func (a *Agent) Start(startOffset float64) {
 		panic("linkstate: negative start offset")
 	}
 	sim := a.node.Net().Sim
-	a.timerEv = sim.Schedule(sim.Now()+startOffset,
-		fmt.Sprintf("lsa-refresh(%s)", a.node.Name), a.onTimer)
+	a.timerEv = sim.Schedule(sim.Now()+startOffset, a.refreshLabel, a.onTimer)
 	a.scheduleSweep()
 }
 
@@ -147,24 +210,29 @@ func (a *Agent) onTimer() {
 
 // originate builds, installs and floods the router's own LSA, then
 // re-arms the refresh timer after the CPU drains — the paper's coupled
-// reset discipline carried over to link-state refreshes.
+// reset discipline carried over to link-state refreshes. A refresh whose
+// adjacency is unchanged leaves the FIB alone: the SPF input is
+// identical, so the output would be too.
 func (a *Agent) originate() {
 	a.seq++
-	lsa := LSA{Origin: a.node.ID, Seq: a.seq, Neighbors: a.neighbors()}
+	nbrs := a.neighbors()
+	lsa := LSA{Origin: a.node.ID, Seq: a.seq, Neighbors: nbrs}
 	now := a.node.Net().Sim.Now()
+	prev, had := a.lsdb[a.node.ID]
 	a.lsdb[a.node.ID] = lsdbEntry{lsa: lsa, updated: now}
 	a.flood(lsa, nil)
-	a.recompute()
+	if !had || !idsEqual(nbrs, prev.lsa.Neighbors) || !a.fibCurrent() {
+		a.recompute()
+	}
 	a.stats.Originated++
 	if a.OnSend != nil {
 		a.OnSend(now)
 	}
-	after := a.rearmWhenIdle
 	if a.node.CPU != nil && a.cfg.PrepareCost > 0 {
-		a.node.CPU.OccupyThen(a.cfg.PrepareCost, after)
+		a.node.CPU.OccupyThen(a.cfg.PrepareCost, a.rearmFn)
 		return
 	}
-	after()
+	a.rearmWhenIdle()
 }
 
 func (a *Agent) rearmWhenIdle() {
@@ -173,25 +241,31 @@ func (a *Agent) rearmWhenIdle() {
 	}
 	sim := a.node.Net().Sim
 	if a.node.CPU != nil && a.node.CPU.Busy() {
-		sim.Schedule(a.node.CPU.BusyUntil(), "lsa-rearm-wait", a.rearmWhenIdle)
+		sim.Schedule(a.node.CPU.BusyUntil(), "lsa-rearm-wait", a.rearmFn)
 		return
 	}
-	if a.timerEv != nil {
-		sim.Cancel(a.timerEv)
-	}
+	sim.Cancel(a.timerEv)
 	delay := a.cfg.Jitter.Delay(a.r, int(a.node.ID))
-	a.timerEv = sim.Schedule(sim.Now()+delay,
-		fmt.Sprintf("lsa-refresh(%s)", a.node.Name), a.onTimer)
+	a.timerEv = sim.Schedule(sim.Now()+delay, a.refreshLabel, a.onTimer)
 }
 
-// flood transmits an LSA on every medium except the one it arrived on.
+// flood encodes an LSA and transmits it on every medium.
 func (a *Agent) flood(lsa LSA, except netsim.Medium) {
 	payload, err := Encode(lsa)
 	if err != nil {
 		panic(err) // own adjacency lists are bounded by the topology
 	}
+	a.floodRaw(payload, except)
+}
+
+// floodRaw transmits an already-encoded LSA on every medium except the
+// one it arrived on. Re-flooding reuses the incoming payload bytes —
+// Encode is canonical, so re-encoding the decoded LSA would reproduce
+// them anyway.
+func (a *Agent) floodRaw(payload []byte, except netsim.Medium) {
 	net := a.node.Net()
-	for _, m := range a.node.Media() {
+	for i, nm := 0, a.node.NumMedia(); i < nm; i++ {
+		m := a.node.MediumAt(i)
 		if m == except {
 			continue
 		}
@@ -203,15 +277,18 @@ func (a *Agent) flood(lsa LSA, except netsim.Medium) {
 }
 
 // receive handles an incoming LSA: CPU cost, dedup by sequence number,
-// store + re-flood + SPF when new.
+// store + re-flood + SPF when new. Only the fixed-size header is decoded
+// here; the duplicate path — the common case on a broadcast segment —
+// never touches the neighbor list.
 func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
-	lsa, err := Decode(pkt.Payload)
+	origin, seq, err := PeekHeader(pkt.Payload)
 	if err != nil {
 		a.stats.Malformed++
 		return
 	}
 	a.stats.Received++
-	work := func() { a.integrate(lsa, via) }
+	payload := pkt.Payload
+	work := func() { a.integrate(payload, origin, seq, via) }
 	if a.node.CPU != nil && a.cfg.ProcessCost > 0 {
 		a.node.CPU.OccupyThen(a.cfg.ProcessCost, work)
 		return
@@ -219,26 +296,44 @@ func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
 	work()
 }
 
-func (a *Agent) integrate(lsa LSA, via netsim.Medium) {
+func (a *Agent) integrate(payload []byte, origin netsim.NodeID, seq uint32, via netsim.Medium) {
 	if a.stopped {
 		return
 	}
-	if lsa.Origin == a.node.ID {
+	if origin == a.node.ID {
 		return // our own LSA echoed back
 	}
 	now := a.node.Net().Sim.Now()
-	cur, ok := a.lsdb[lsa.Origin]
-	if ok && lsa.Seq <= cur.lsa.Seq {
+	cur, ok := a.lsdb[origin]
+	if ok && seq <= cur.lsa.Seq {
 		// Stale or duplicate: refresh the age on an exact duplicate (the
 		// origin is alive), never re-flood.
-		if lsa.Seq == cur.lsa.Seq {
+		if seq == cur.lsa.Seq {
 			cur.updated = now
-			a.lsdb[lsa.Origin] = cur
+			a.lsdb[origin] = cur
 		}
 		return
 	}
-	a.lsdb[lsa.Origin] = lsdbEntry{lsa: lsa, updated: now}
-	a.flood(lsa, via)
+	if ok && WireNeighborsEqual(payload, cur.lsa.Neighbors) {
+		// Refresh: a newer sequence number over unchanged content. The
+		// SPF input is identical, so the routes are too — keep the
+		// stored neighbor list, bump seq and age, and re-flood.
+		cur.lsa.Seq = seq
+		cur.updated = now
+		a.lsdb[origin] = cur
+		a.floodRaw(payload, via)
+		if !a.fibCurrent() {
+			a.recompute()
+		}
+		return
+	}
+	lsa, err := Decode(payload)
+	if err != nil {
+		a.stats.Malformed++ // unreachable: PeekHeader validated the frame
+		return
+	}
+	a.lsdb[origin] = lsdbEntry{lsa: lsa, updated: now}
+	a.floodRaw(payload, via)
 	a.recompute()
 }
 
@@ -307,62 +402,80 @@ func (a *Agent) spf() map[netsim.NodeID]int {
 // OSPF bidirectional check), so stale one-sided claims — e.g. a live
 // neighbor still listing a dead router whose own LSA has aged out —
 // never install routes.
+//
+// The BFS runs over slice-indexed scratch state reused across runs (node
+// ids are dense in [0, NumNodes)), not maps: SPF used to dominate the
+// link-state experiment's profile through map traffic alone. LSAs naming
+// ids outside the network are ignored, as the bidirectional check would
+// reject them anyway.
 func (a *Agent) recompute() {
 	a.stats.SPFRuns++
-	adj := func(id netsim.NodeID) []netsim.NodeID {
-		if id == a.node.ID {
-			return a.neighbors()
-		}
-		if e, ok := a.lsdb[id]; ok {
-			return e.lsa.Neighbors
-		}
-		return nil
+	net := a.node.Net()
+	n := net.NumNodes()
+	if cap(a.adjRows) < n {
+		a.adjRows = make([][]netsim.NodeID, n)
+		a.visited = make([]bool, n)
 	}
+	adj := a.adjRows[:n]
+	visited := a.visited[:n]
+	for i := range adj {
+		adj[i] = nil
+		visited[i] = false
+	}
+	for origin, e := range a.lsdb {
+		if int(origin) >= 0 && int(origin) < n {
+			adj[origin] = e.lsa.Neighbors
+		}
+	}
+	// The router's own row comes from the live topology, not its stored
+	// LSA, so local changes take effect before the next origination.
+	adj[a.node.ID] = a.neighbors()
 	claims := func(id, nb netsim.NodeID) bool {
-		for _, x := range adj(id) {
+		for _, x := range adj[id] {
 			if x == nb {
 				return true
 			}
 		}
 		return false
 	}
-	type qe struct {
-		id    netsim.NodeID
-		first netsim.NodeID
-	}
-	visited := map[netsim.NodeID]bool{a.node.ID: true}
-	var queue []qe
-	for _, nb := range adj(a.node.ID) {
-		if !claims(nb, a.node.ID) {
+	inRange := func(id netsim.NodeID) bool { return int(id) >= 0 && int(id) < n }
+
+	queue := a.spfQueue[:0]
+	visited[a.node.ID] = true
+	for _, nb := range adj[a.node.ID] {
+		if !inRange(nb) || !claims(nb, a.node.ID) {
 			continue
 		}
 		visited[nb] = true
-		queue = append(queue, qe{id: nb, first: nb})
+		queue = append(queue, spfQE{id: nb, first: nb})
 		a.installRoute(nb, nb)
 	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range adj(cur.id) {
-			if visited[nb] || !claims(nb, cur.id) {
+	for qi := 0; qi < len(queue); qi++ {
+		cur := queue[qi]
+		for _, nb := range adj[cur.id] {
+			if !inRange(nb) || visited[nb] || !claims(nb, cur.id) {
 				continue
 			}
 			visited[nb] = true
 			a.installRoute(nb, cur.first)
-			queue = append(queue, qe{id: nb, first: cur.first})
+			queue = append(queue, spfQE{id: nb, first: cur.first})
 		}
 	}
+	a.spfQueue = queue[:0]
 	// Withdraw FIB entries that SPF no longer reaches.
 	for dest := range a.node.FIB {
-		if !visited[dest] {
+		if !inRange(dest) || !visited[dest] {
 			delete(a.node.FIB, dest)
 		}
 	}
+	a.fibOK = true
+	a.fibVer = net.TopologyVersion()
 }
 
 // installRoute programs dest via the medium that reaches firstHop.
 func (a *Agent) installRoute(dest, firstHop netsim.NodeID) {
-	for _, m := range a.node.Media() {
+	for i, nm := 0, a.node.NumMedia(); i < nm; i++ {
+		m := a.node.MediumAt(i)
 		switch t := m.(type) {
 		case *netsim.Link:
 			if !t.Down() && t.Peer(a.node).ID == firstHop {
@@ -370,8 +483,8 @@ func (a *Agent) installRoute(dest, firstHop netsim.NodeID) {
 				return
 			}
 		case *netsim.LAN:
-			for _, member := range t.Members() {
-				if member.ID == firstHop {
+			for j, nj := 0, t.NumMembers(); j < nj; j++ {
+				if t.Member(j).ID == firstHop {
 					a.node.SetRoute(dest, m, firstHop)
 					return
 				}
@@ -387,13 +500,7 @@ func (a *Agent) scheduleSweep() {
 		return
 	}
 	sim := a.node.Net().Sim
-	sim.Schedule(sim.Now()+a.cfg.RefreshPeriod, "lsa-sweep", func() {
-		if a.stopped {
-			return
-		}
-		a.sweep()
-		a.scheduleSweep()
-	})
+	sim.Schedule(sim.Now()+a.cfg.RefreshPeriod, "lsa-sweep", a.sweepFn)
 }
 
 func (a *Agent) sweep() {

@@ -94,5 +94,44 @@ func Decode(buf []byte) (LSA, error) {
 	return l, nil
 }
 
+// PeekHeader validates a wire LSA exactly as Decode does and returns its
+// origin and sequence number without allocating the neighbor list. The
+// flooding hot path uses it to recognize duplicates — the common case on
+// a broadcast segment, where every LSA is heard once per neighbor — and
+// defer the full Decode to the rare fresh-LSA path.
+func PeekHeader(buf []byte) (origin netsim.NodeID, seq uint32, err error) {
+	if len(buf) < headerLen {
+		return 0, 0, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != magic {
+		return 0, 0, ErrBadMagic
+	}
+	if buf[2] != version {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	count := int(binary.BigEndian.Uint16(buf[12:]))
+	if len(buf) < headerLen+neighLen*count {
+		return 0, 0, ErrTruncated
+	}
+	return netsim.NodeID(binary.BigEndian.Uint32(buf[4:])), binary.BigEndian.Uint32(buf[8:]), nil
+}
+
+// WireNeighborsEqual reports whether the neighbor list encoded in buf
+// (already validated by PeekHeader) equals want, without allocating. A
+// refresh LSA that merely bumps the sequence number of unchanged content
+// needs no shortest-path recomputation.
+func WireNeighborsEqual(buf []byte, want []netsim.NodeID) bool {
+	count := int(binary.BigEndian.Uint16(buf[12:]))
+	if count != len(want) {
+		return false
+	}
+	for i, nb := range want {
+		if netsim.NodeID(binary.BigEndian.Uint32(buf[headerLen+neighLen*i:])) != nb {
+			return false
+		}
+	}
+	return true
+}
+
 // WireSize returns the encoded length for n neighbors.
 func WireSize(n int) int { return headerLen + neighLen*n }

@@ -51,6 +51,7 @@ type CPU struct {
 	cfg       CPUConfig
 	busyUntil float64
 	queue     []*Packet
+	drainFn   func() // hoisted method value; scheduled on every Occupy
 	// TotalBusy accumulates occupied seconds, for utilization reports.
 	TotalBusy float64
 }
@@ -62,7 +63,9 @@ func newCPU(nd *Node, cfg CPUConfig) *CPU {
 	if cfg.ForwardCost < 0 {
 		panic("netsim: negative forward cost")
 	}
-	return &CPU{node: nd, cfg: cfg}
+	c := &CPU{node: nd, cfg: cfg}
+	c.drainFn = c.drain
+	return c
 }
 
 // Config returns the CPU configuration.
@@ -95,7 +98,7 @@ func (c *CPU) Occupy(d float64) float64 {
 	// Schedule a drain at this work item's completion; the drain is a
 	// no-op if further work arrived in the meantime (a later drain will
 	// handle the queue).
-	c.node.net.Sim.Schedule(done, "cpu-drain", c.drain)
+	c.node.net.Sim.Schedule(done, "cpu-drain", c.drainFn)
 	return done
 }
 

@@ -22,6 +22,9 @@ type lanFrame struct {
 type lanTx struct {
 	busy  bool
 	queue []lanFrame
+	// txDone frees the transmitter and pops the queue; hoisted so each
+	// frame schedules it without allocating a fresh closure.
+	txDone func()
 }
 
 // LAN is an idealized broadcast segment (an Ethernet without collisions):
@@ -51,14 +54,31 @@ func (n *Network) NewLAN(members []*Node, cfg LANConfig) *LAN {
 		if _, dup := l.tx[m.ID]; dup {
 			panic(fmt.Sprintf("netsim: node %v attached to LAN twice", m))
 		}
-		l.tx[m.ID] = &lanTx{}
+		from, st := m, &lanTx{}
+		st.txDone = func() {
+			st.busy = false
+			if len(st.queue) > 0 {
+				next := st.queue[0]
+				st.queue = st.queue[1:]
+				l.startTx(from, st, next)
+			}
+		}
+		l.tx[m.ID] = st
 		m.attachMedium(l)
 	}
 	return l
 }
 
-// Members returns the attached nodes.
+// Members returns a copy of the attached nodes.
 func (l *LAN) Members() []*Node { return append([]*Node(nil), l.members...) }
+
+// NumMembers returns the number of attached nodes.
+func (l *LAN) NumMembers() int { return len(l.members) }
+
+// Member returns the i-th attached node (attachment order) without
+// copying the member list — the allocation-free companion to Members
+// for per-packet paths.
+func (l *LAN) Member(i int) *Node { return l.members[i] }
 
 // Config returns the LAN configuration.
 func (l *LAN) Config() LANConfig { return l.cfg }
@@ -96,14 +116,7 @@ func (l *LAN) startTx(from *Node, st *lanTx, fr lanFrame) {
 	sim.After(ser+l.cfg.Delay, "lan-arrival", func() {
 		l.deliver(fr.pkt, from, fr.to)
 	})
-	sim.After(ser, "lan-tx-done", func() {
-		st.busy = false
-		if len(st.queue) > 0 {
-			next := st.queue[0]
-			st.queue = st.queue[1:]
-			l.startTx(from, st, next)
-		}
-	})
+	sim.After(ser, "lan-tx-done", st.txDone)
 }
 
 func (l *LAN) deliver(pkt *Packet, from *Node, to NodeID) {

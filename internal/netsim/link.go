@@ -58,7 +58,10 @@ func (l *Link) Utilization(from *Node, window float64) float64 {
 // SetDown marks the link failed (true) or restored (false). Packets in
 // flight or transmitted while the link is down are dropped — the failure
 // model behind the routing protocol's convergence tests.
-func (l *Link) SetDown(down bool) { l.down = down }
+func (l *Link) SetDown(down bool) {
+	l.down = down
+	l.net.bumpTopology()
+}
 
 // Down reports the link's failure state.
 func (l *Link) Down() bool { return l.down }
@@ -66,6 +69,9 @@ func (l *Link) Down() bool { return l.down }
 type txState struct {
 	busy  bool
 	queue []*Packet
+	// txDone frees the transmitter and pops the queue; hoisted so each
+	// packet schedules it without allocating a fresh closure.
+	txDone func()
 }
 
 // Connect creates a link between a and b. It panics if a == b.
@@ -80,6 +86,18 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 		cfg.QueueCap = DefaultQueueCap
 	}
 	l := &Link{net: n, cfg: cfg, ends: [2]*Node{a, b}}
+	for d := range l.tx {
+		d := d
+		l.tx[d].txDone = func() {
+			st := &l.tx[d]
+			st.busy = false
+			if len(st.queue) > 0 {
+				next := st.queue[0]
+				st.queue = st.queue[1:]
+				l.startTx(d, next)
+			}
+		}
+	}
 	a.attachMedium(l)
 	b.attachMedium(l)
 	return l
@@ -163,12 +181,5 @@ func (l *Link) startTx(d int, pkt *Packet) {
 		dst.receive(pkt, l)
 	})
 	// Transmitter frees after serialization; pop the queue.
-	sim.After(ser, "link-tx-done", func() {
-		st.busy = false
-		if len(st.queue) > 0 {
-			next := st.queue[0]
-			st.queue = st.queue[1:]
-			l.startTx(d, next)
-		}
-	})
+	sim.After(ser, "link-tx-done", st.txDone)
 }

@@ -114,11 +114,12 @@ func (c *Counters) TotalDropped() uint64 {
 
 // Network owns the simulator, the topology and the counters.
 type Network struct {
-	Sim   *des.Simulator
-	Rand  *rng.Source
-	nodes []*Node
-	count Counters
-	pktID uint64
+	Sim     *des.Simulator
+	Rand    *rng.Source
+	nodes   []*Node
+	count   Counters
+	pktID   uint64
+	topoVer uint64
 }
 
 // NewNetwork creates an empty network with the given seed.
@@ -172,6 +173,19 @@ func (n *Network) Node(id NodeID) *Node {
 
 // Nodes returns all nodes in creation order.
 func (n *Network) Nodes() []*Node { return append([]*Node(nil), n.nodes...) }
+
+// NumNodes returns the number of nodes; node ids are dense in
+// [0, NumNodes), which lets routing agents use slice-indexed scratch
+// state instead of maps on their hot paths.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// TopologyVersion returns a counter that increments whenever the
+// topology changes — a medium is attached or a link changes up/down
+// state. Agents use it to invalidate cached adjacency.
+func (n *Network) TopologyVersion() uint64 { return n.topoVer }
+
+// bumpTopology invalidates topology-derived caches.
+func (n *Network) bumpTopology() { n.topoVer++ }
 
 // NewPacket allocates a packet with a fresh ID and the current timestamp.
 func (n *Network) NewPacket(kind Kind, src, dst NodeID, size int) *Packet {

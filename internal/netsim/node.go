@@ -97,10 +97,21 @@ func (nd *Node) Net() *Network { return nd.net }
 func (nd *Node) String() string { return fmt.Sprintf("%s(%d)", nd.Name, nd.ID) }
 
 // attachMedium registers a medium the node is connected to.
-func (nd *Node) attachMedium(m Medium) { nd.media = append(nd.media, m) }
+func (nd *Node) attachMedium(m Medium) {
+	nd.media = append(nd.media, m)
+	nd.net.bumpTopology()
+}
 
 // Media returns the media this node is attached to, in attachment order.
 func (nd *Node) Media() []Medium { return append([]Medium(nil), nd.media...) }
+
+// NumMedia returns the number of attached media.
+func (nd *Node) NumMedia() int { return len(nd.media) }
+
+// MediumAt returns the i-th attached medium (attachment order) without
+// copying the media list — the allocation-free companion to Media for
+// per-packet paths.
+func (nd *Node) MediumAt(i int) Medium { return nd.media[i] }
 
 // SetRoute installs a forwarding entry for dst.
 func (nd *Node) SetRoute(dst NodeID, via Medium, nextHop NodeID) {

@@ -1,0 +1,94 @@
+package periodic
+
+import (
+	"fmt"
+	"testing"
+
+	"routesync/internal/jitter"
+)
+
+// TestHeapMatchesReference differential-tests the heap engine against the
+// sort-based reference (stepReference via s.ref): for a grid of seeds,
+// reset rules and start states — with a TriggerUpdate injected mid-run —
+// the two engines must produce identical Event sequences, bit for bit.
+func TestHeapMatchesReference(t *testing.T) {
+	const (
+		n      = 25
+		steps  = 400
+		trigAt = 137 // step index at which both runs inject TriggerUpdate
+	)
+	for seed := int64(1); seed <= 12; seed++ {
+		for _, reset := range []TimerReset{ResetAfterProcessing, ResetOnExpiry} {
+			for _, start := range []StartState{StartUnsynchronized, StartSynchronized} {
+				name := fmt.Sprintf("seed=%d/%v/%v", seed, reset, start)
+				t.Run(name, func(t *testing.T) {
+					cfg := Config{
+						N:      n,
+						Tc:     0.11,
+						Jitter: jitter.Uniform{Tp: 121, Tr: 0.5},
+						Reset:  reset,
+						Start:  start,
+						Seed:   seed,
+					}
+					heap := New(cfg)
+					ref := New(cfg)
+					ref.ref = true
+					for i := 0; i < steps; i++ {
+						if i == trigAt {
+							heap.TriggerUpdate()
+							ref.TriggerUpdate()
+						}
+						he, re := heap.Step(), ref.Step()
+						if !eventsEqual(he, re) {
+							t.Fatalf("step %d diverged:\nheap: %+v\nref:  %+v", i, he, re)
+						}
+					}
+					if heap.Now() != ref.Now() {
+						t.Fatalf("Now diverged: heap %v ref %v", heap.Now(), ref.Now())
+					}
+					hex, rex := heap.Expiries(), ref.Expiries()
+					for id := range hex {
+						if hex[id] != rex[id] {
+							t.Fatalf("router %d final expiry diverged: heap %v ref %v",
+								id, hex[id], rex[id])
+						}
+					}
+					if hl, rl := heap.LargestPending(), ref.LargestPending(); hl != rl {
+						t.Fatalf("LargestPending diverged: heap %d ref %d", hl, rl)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestHeapMatchesReferenceSetExpiries checks the heap is rebuilt correctly
+// when the expiry set is overridden wholesale, including exact ties.
+func TestHeapMatchesReferenceSetExpiries(t *testing.T) {
+	cfg := Paper(10, 0.5, 42)
+	heap := New(cfg)
+	ref := New(cfg)
+	ref.ref = true
+	// Bespoke phases with duplicates to exercise the (expiry, id) tie-break.
+	phases := []float64{5, 1, 5, 3, 1, 8, 1, 3, 5, 2}
+	heap.SetExpiries(phases)
+	ref.SetExpiries(phases)
+	for i := 0; i < 50; i++ {
+		he, re := heap.Step(), ref.Step()
+		if !eventsEqual(he, re) {
+			t.Fatalf("step %d diverged:\nheap: %+v\nref:  %+v", i, he, re)
+		}
+	}
+}
+
+func eventsEqual(a, b Event) bool {
+	if a.Start != b.Start || a.End != b.End || a.Next != b.Next || len(a.Members) != len(b.Members) {
+		return false
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] || a.Expiries[i] != b.Expiries[i] {
+			return false
+		}
+	}
+	return true
+}

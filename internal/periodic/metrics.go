@@ -28,14 +28,16 @@ func (s *System) OrderParameter() float64 {
 // ClusterSizes returns the sorted (descending) sizes of the clusters in
 // the current pending-timer partition.
 func (s *System) ClusterSizes() []int {
-	members := make([]cluster.Member, s.cfg.N)
-	for i := range members {
-		members[i] = cluster.Member{ID: i, Expiry: s.expiry[i]}
+	ms := s.analysis
+	for i := range ms {
+		ms[i] = cluster.Member{ID: i, Expiry: s.expiry[i]}
 	}
-	parts := cluster.Partition(members, s.cfg.Tc)
-	sizes := make([]int, len(parts))
-	for i, c := range parts {
-		sizes[i] = c.Size()
+	cluster.SortMembers(ms)
+	var sizes []int
+	for len(ms) > 0 {
+		c := cluster.GrowSorted(ms, s.cfg.Tc)
+		sizes = append(sizes, c.Size())
+		ms = ms[c.Size():]
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
 	return sizes
@@ -83,8 +85,9 @@ func (s *System) CoherenceTrace(horizon, sampleEvery float64) (times, r []float6
 		panic("periodic: CoherenceTrace needs a positive sampling interval")
 	}
 	next := sampleEvery
-	for s.NextExpiry() <= horizon {
-		s.Step()
+	pending := s.NextExpiry()
+	for pending <= horizon {
+		pending = s.Step().Next
 		for s.now >= next {
 			times = append(times, next)
 			r = append(r, s.OrderParameter())

@@ -120,6 +120,10 @@ type Event struct {
 	// Expiries holds each member's timer-expiration time, parallel to
 	// Members.
 	Expiries []float64
+	// Next is the earliest pending timer expiration after this event's
+	// resets — what NextExpiry would return. Run loops use it to decide
+	// whether to keep stepping without re-querying the system.
+	Next float64
 }
 
 // Size returns the cluster size.
@@ -136,8 +140,22 @@ type System struct {
 	// onEvent observers are invoked, in registration order, after every
 	// cluster firing.
 	onEvent []func(Event)
+	// heap is a binary min-heap of router ids keyed by (expiry, id) — the
+	// model's deterministic firing order. Step pops one cluster (k
+	// members) and pushes the re-armed timers back, so each firing costs
+	// O(k log N) instead of the O(N log N) full sort, and NextExpiry is an
+	// O(1) peek.
+	heap []int32
 	// scratch buffers reused across steps
 	members []cluster.Member
+	// analysis is a second scratch for LargestPending/ClusterSizes, kept
+	// separate from members so OnEvent observers may call them mid-Step.
+	analysis []cluster.Member
+	// ref switches Step to the original sort-based engine
+	// (cluster.Grow over the full expiry set). The heap engine is
+	// differential-tested against it; it is settable only from
+	// package-internal tests.
+	ref bool
 }
 
 // New constructs a System from cfg. It panics on invalid configuration:
@@ -157,10 +175,12 @@ func New(cfg Config) *System {
 		panic("periodic: mean period must exceed N*Tc (system otherwise saturates)")
 	}
 	s := &System{
-		cfg:     cfg,
-		r:       rng.New(cfg.Seed),
-		expiry:  make([]float64, cfg.N),
-		members: make([]cluster.Member, cfg.N),
+		cfg:      cfg,
+		r:        rng.New(cfg.Seed),
+		expiry:   make([]float64, cfg.N),
+		heap:     make([]int32, cfg.N),
+		members:  make([]cluster.Member, cfg.N),
+		analysis: make([]cluster.Member, cfg.N),
 	}
 	switch cfg.Start {
 	case StartSynchronized:
@@ -171,6 +191,7 @@ func New(cfg Config) *System {
 			s.expiry[i] = s.r.Uniform(0, tp)
 		}
 	}
+	s.rebuildHeap()
 	return s
 }
 
@@ -183,15 +204,20 @@ func (s *System) Now() float64 { return s.now }
 // Steps returns the number of cluster events processed.
 func (s *System) Steps() uint64 { return s.steps }
 
-// NextExpiry returns the earliest pending timer expiration.
+// NextExpiry returns the earliest pending timer expiration. With the heap
+// engine this is an O(1) peek; callers inside run loops can avoid even
+// that by reading Event.Next from the previous Step.
 func (s *System) NextExpiry() float64 {
-	min := math.Inf(1)
-	for _, e := range s.expiry {
-		if e < min {
-			min = e
+	if s.ref {
+		min := math.Inf(1)
+		for _, e := range s.expiry {
+			if e < min {
+				min = e
+			}
 		}
+		return min
 	}
-	return min
+	return s.expiry[s.heap[0]]
 }
 
 // Expiries returns a copy of every router's pending expiration time.
@@ -206,6 +232,7 @@ func (s *System) SetExpiries(e []float64) {
 		panic("periodic: SetExpiries length mismatch")
 	}
 	copy(s.expiry, e)
+	s.rebuildHeap()
 }
 
 // OnEvent registers an observer invoked after every cluster firing.
@@ -219,10 +246,71 @@ func (s *System) TriggerUpdate() {
 	for i := range s.expiry {
 		s.expiry[i] = s.now
 	}
+	s.rebuildHeap()
 }
 
 // Step processes the next cluster firing and returns it.
 func (s *System) Step() Event {
+	if s.ref {
+		return s.stepReference()
+	}
+	// Pop the cluster off the heap. The heap yields routers in
+	// (expiry, id) order, so the admission loop sees exactly the sorted
+	// prefix cluster.Grow would, and the window test below is the same
+	// floating-point expression — the two engines replay bit-identically.
+	head := s.heapPop()
+	t := s.expiry[head]
+	s.members[0] = cluster.Member{ID: int(head), Expiry: t}
+	k := 1
+	for len(s.heap) > 0 {
+		e := s.expiry[s.heap[0]]
+		if e < t+float64(k)*s.cfg.Tc || e == t {
+			s.members[k] = cluster.Member{ID: int(s.heapPop()), Expiry: e}
+			k++
+			continue
+		}
+		break
+	}
+	end := t + float64(k)*s.cfg.Tc
+	s.now = end
+	ev := Event{
+		Start:    t,
+		End:      end,
+		Members:  make([]int, k),
+		Expiries: make([]float64, k),
+	}
+	for i := 0; i < k; i++ {
+		m := s.members[i]
+		ev.Members[i] = m.ID
+		ev.Expiries[i] = m.Expiry
+		delay := s.cfg.Jitter.Delay(s.r, m.ID)
+		var next float64
+		switch s.cfg.Reset {
+		case ResetOnExpiry:
+			next = m.Expiry + delay
+			if next < end {
+				// The timer would have fired during the busy window;
+				// the message goes out as soon as processing finishes.
+				next = end
+			}
+		default: // ResetAfterProcessing, the paper's rule
+			next = end + delay
+		}
+		s.expiry[m.ID] = next
+		s.heapPush(int32(m.ID))
+	}
+	ev.Next = s.expiry[s.heap[0]]
+	s.steps++
+	for _, fn := range s.onEvent {
+		fn(ev)
+	}
+	return ev
+}
+
+// stepReference is the original sort-based Step: rebuild the full member
+// set and apply cluster.Grow. It is kept as the executable specification
+// the heap engine is differential-tested against.
+func (s *System) stepReference() Event {
 	for i := range s.members {
 		s.members[i] = cluster.Member{ID: i, Expiry: s.expiry[i]}
 	}
@@ -243,14 +331,18 @@ func (s *System) Step() Event {
 		case ResetOnExpiry:
 			next = m.Expiry + delay
 			if next < c.End {
-				// The timer would have fired during the busy window;
-				// the message goes out as soon as processing finishes.
 				next = c.End
 			}
 		default: // ResetAfterProcessing, the paper's rule
 			next = c.End + delay
 		}
 		s.expiry[m.ID] = next
+	}
+	ev.Next = math.Inf(1)
+	for _, e := range s.expiry {
+		if e < ev.Next {
+			ev.Next = e
+		}
 	}
 	s.steps++
 	for _, fn := range s.onEvent {
@@ -263,8 +355,9 @@ func (s *System) Step() Event {
 // <= horizon. It returns the number of events processed.
 func (s *System) RunUntil(horizon float64) uint64 {
 	var n uint64
-	for s.NextExpiry() <= horizon {
-		s.Step()
+	next := s.NextExpiry()
+	for next <= horizon {
+		next = s.Step().Next
 		n++
 	}
 	return n
@@ -275,4 +368,72 @@ func (s *System) RunUntil(horizon float64) uint64 {
 // "the time mod T, for T = Tp + Tc").
 func (s *System) RoundWindow() float64 {
 	return s.cfg.Jitter.Mean() + s.cfg.Tc
+}
+
+// heapLess reports whether router a's timer fires before router b's:
+// earlier expiry, lower id on ties — the same order cluster.Grow sorts by.
+func (s *System) heapLess(a, b int32) bool {
+	ea, eb := s.expiry[a], s.expiry[b]
+	if ea != eb {
+		return ea < eb
+	}
+	return a < b
+}
+
+// rebuildHeap re-heapifies all N routers in O(N); called whenever the
+// expiry set changes wholesale (construction, SetExpiries, TriggerUpdate).
+func (s *System) rebuildHeap() {
+	s.heap = s.heap[:0]
+	for i := 0; i < s.cfg.N; i++ {
+		s.heap = append(s.heap, int32(i))
+	}
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+func (s *System) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(s.heap[i], s.heap[p]) {
+			return
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+func (s *System) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && s.heapLess(s.heap[r], s.heap[l]) {
+			small = r
+		}
+		if !s.heapLess(s.heap[small], s.heap[i]) {
+			return
+		}
+		s.heap[i], s.heap[small] = s.heap[small], s.heap[i]
+		i = small
+	}
+}
+
+func (s *System) heapPop() int32 {
+	id := s.heap[0]
+	n := len(s.heap) - 1
+	s.heap[0] = s.heap[n]
+	s.heap = s.heap[:n]
+	if n > 0 {
+		s.siftDown(0)
+	}
+	return id
+}
+
+func (s *System) heapPush(id int32) {
+	s.heap = append(s.heap, id)
+	s.siftUp(len(s.heap) - 1)
 }

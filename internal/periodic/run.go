@@ -23,12 +23,14 @@ type SyncResult struct {
 // (full synchronization) or the horizon passes.
 func (s *System) RunUntilSynchronized(horizon float64) SyncResult {
 	var events uint64
-	for s.NextExpiry() <= horizon {
+	next := s.NextExpiry()
+	for next <= horizon {
 		ev := s.Step()
 		events++
 		if ev.Size() == s.cfg.N {
 			return SyncResult{Reached: true, Time: ev.Start, Rounds: ev.Start / s.RoundWindow(), Events: events}
 		}
+		next = ev.Next
 	}
 	return SyncResult{Reached: false, Time: s.now, Rounds: s.now / s.RoundWindow(), Events: events}
 }
@@ -40,11 +42,20 @@ func (s *System) RunUntilSynchronized(horizon float64) SyncResult {
 // the nominal Tp + Tc round, which would otherwise leave some rounds
 // without a cluster firing and falsely read as desynchronization.
 func (s *System) LargestPending() int {
-	members := make([]cluster.Member, s.cfg.N)
-	for i := range members {
-		members[i] = cluster.Member{ID: i, Expiry: s.expiry[i]}
+	ms := s.analysis
+	for i := range ms {
+		ms[i] = cluster.Member{ID: i, Expiry: s.expiry[i]}
 	}
-	return cluster.Largest(cluster.Partition(members, s.cfg.Tc))
+	cluster.SortMembers(ms)
+	best := 0
+	for len(ms) > 0 {
+		c := cluster.GrowSorted(ms, s.cfg.Tc)
+		if c.Size() > best {
+			best = c.Size()
+		}
+		ms = ms[c.Size():]
+	}
+	return best
 }
 
 // RunUntilBroken advances the system until the largest pending cluster is
@@ -56,8 +67,9 @@ func (s *System) RunUntilBroken(threshold int, horizon float64) SyncResult {
 	}
 	window := s.RoundWindow()
 	var events uint64
-	for s.NextExpiry() <= horizon {
-		s.Step()
+	next := s.NextExpiry()
+	for next <= horizon {
+		next = s.Step().Next
 		events++
 		if s.LargestPending() <= threshold {
 			return SyncResult{Reached: true, Time: s.now, Rounds: s.now / window, Events: events}
@@ -77,8 +89,10 @@ func (s *System) FirstPassageUp(horizon float64) []float64 {
 	}
 	times[0] = 0
 	maxSoFar := 0
-	for s.NextExpiry() <= horizon && maxSoFar < s.cfg.N {
+	next := s.NextExpiry()
+	for next <= horizon && maxSoFar < s.cfg.N {
 		ev := s.Step()
+		next = ev.Next
 		if ev.Size() > maxSoFar {
 			for i := maxSoFar + 1; i <= ev.Size(); i++ {
 				times[i] = ev.Start
@@ -101,8 +115,9 @@ func (s *System) FirstPassageDown(horizon float64) []float64 {
 	}
 	times[s.cfg.N] = 0
 	minSoFar := s.cfg.N
-	for s.NextExpiry() <= horizon && minSoFar > 1 {
-		s.Step()
+	next := s.NextExpiry()
+	for next <= horizon && minSoFar > 1 {
+		next = s.Step().Next
 		largest := s.LargestPending()
 		if largest < minSoFar {
 			for i := largest; i < minSoFar; i++ {

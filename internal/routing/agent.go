@@ -102,7 +102,10 @@ type Agent struct {
 	r    *rng.Source
 
 	table      *Table
-	timerEv    *des.Event
+	timerEv    des.Event
+	timerLabel string // hoisted: one fmt.Sprintf per agent, not per re-arm
+	rearmFn    func() // hoisted rearmWhenIdle closure
+	sweepFn    func() // hoisted sweep closure
 	lastExpiry float64
 	lastTrig   float64
 	stats      Stats
@@ -142,6 +145,15 @@ func NewAgent(node *netsim.Node, cfg Config) *Agent {
 		table: NewTable(cfg.Profile.Infinity),
 	}
 	a.table.SetHoldDown(cfg.Profile.HoldDown)
+	a.timerLabel = fmt.Sprintf("routing-timer(%s)", node.Name)
+	a.rearmFn = a.rearmWhenIdle
+	a.sweepFn = func() {
+		if a.stopped {
+			return
+		}
+		a.sweep()
+		a.scheduleSweep()
+	}
 	node.OnRouting = a.receive
 	return a
 }
@@ -191,7 +203,7 @@ func (a *Agent) sendRequest() {
 
 func (a *Agent) armAt(at float64) {
 	sim := a.node.Net().Sim
-	a.timerEv = sim.Schedule(at, fmt.Sprintf("routing-timer(%s)", a.node.Name), a.onTimer)
+	a.timerEv = sim.Schedule(at, a.timerLabel, a.onTimer)
 	a.stats.TimerResets++
 	if a.OnTimerReset != nil {
 		a.OnTimerReset(sim.Now(), at)
@@ -199,10 +211,8 @@ func (a *Agent) armAt(at float64) {
 }
 
 func (a *Agent) cancelTimer() {
-	if a.timerEv != nil {
-		a.node.Net().Sim.Cancel(a.timerEv)
-		a.timerEv = nil
-	}
+	a.node.Net().Sim.Cancel(a.timerEv)
+	a.timerEv = des.Event{}
 }
 
 // Stop halts the agent: the periodic timer is cancelled, housekeeping
@@ -259,7 +269,7 @@ func (a *Agent) rearmWhenIdle() {
 	}
 	sim := a.node.Net().Sim
 	if a.node.CPU != nil && a.node.CPU.Busy() {
-		sim.Schedule(a.node.CPU.BusyUntil(), "routing-rearm-wait", a.rearmWhenIdle)
+		sim.Schedule(a.node.CPU.BusyUntil(), "routing-rearm-wait", a.rearmFn)
 		return
 	}
 	a.cancelTimer()
@@ -397,13 +407,7 @@ func (a *Agent) scheduleSweep() {
 		return
 	}
 	sim := a.node.Net().Sim
-	sim.Schedule(sim.Now()+a.cfg.Profile.Period, "routing-sweep", func() {
-		if a.stopped {
-			return
-		}
-		a.sweep()
-		a.scheduleSweep()
-	})
+	sim.Schedule(sim.Now()+a.cfg.Profile.Period, "routing-sweep", a.sweepFn)
 }
 
 func (a *Agent) sweep() {
