@@ -1,0 +1,121 @@
+// Command benchguard compares `go test -bench` output on stdin against a
+// committed BENCH_*.json baseline and fails when any matching benchmark
+// allocates more per op than the baseline recorded. It guards the
+// allocation discipline of the hot paths — the des kernel's 0 allocs/op
+// steady state and the periodic engine's fixed footprint — in CI, where
+// ns/op is too noisy to gate on but allocs/op is exact.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 100x ./internal/bench/ | benchguard -baseline out/BENCH_0002.json
+//
+// Benchmark names are normalized (the "Benchmark" prefix and the
+// "-<GOMAXPROCS>" suffix are stripped) and compared by intersection with
+// the baseline: benchmarks missing on either side are skipped, but zero
+// matches is an error — it means the naming drifted and the guard is
+// watching nothing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the subset of the BENCH_*.json schema the guard needs.
+type baselineFile struct {
+	Benchmarks []struct {
+		Name        string `json:"name"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkDESScheduleStep-8   15734137   71.20 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?(\d+)\s+allocs/op`)
+
+// gomaxprocsSuffix is the trailing "-<digits>" go test appends to names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// normalize maps both naming schemes onto one key: `go test` prints
+// "BenchmarkPeriodicStep/N=20-8" where the JSON records "PeriodicStep/N=20".
+func normalize(name string) string {
+	name = strings.TrimPrefix(name, "Benchmark")
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// parseBenchOutput extracts normalized name → allocs/op from `go test
+// -bench` output. Non-benchmark lines (PASS, ok, goos) are ignored.
+func parseBenchOutput(r io.Reader) (map[string]int64, error) {
+	out := map[string]int64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		allocs, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+		}
+		out[normalize(m[1])] = allocs
+	}
+	return out, sc.Err()
+}
+
+func run(baselinePath string, stdin io.Reader, stdout, stderr io.Writer) int {
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchguard:", err)
+		return 1
+	}
+	var base baselineFile
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintf(stderr, "benchguard: parse %s: %v\n", baselinePath, err)
+		return 1
+	}
+	measured, err := parseBenchOutput(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchguard:", err)
+		return 1
+	}
+
+	matches, regressions := 0, 0
+	for _, b := range base.Benchmarks {
+		got, ok := measured[normalize(b.Name)]
+		if !ok {
+			continue
+		}
+		matches++
+		status := "ok"
+		if got > b.AllocsPerOp {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-30s baseline %3d allocs/op, measured %3d  %s\n",
+			b.Name, b.AllocsPerOp, got, status)
+	}
+	if matches == 0 {
+		fmt.Fprintf(stderr, "benchguard: no benchmark in the input matched the baseline %s — name drift?\n", baselinePath)
+		return 1
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchguard: %d of %d benchmarks regressed allocs/op\n", regressions, matches)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchguard: %d benchmarks within baseline\n", matches)
+	return 0
+}
+
+func main() {
+	baseline := flag.String("baseline", "out/BENCH_0002.json", "committed BENCH_*.json to guard against")
+	flag.Parse()
+	os.Exit(run(*baseline, os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: routesync/internal/bench
+cpu: some CPU
+BenchmarkDESScheduleStep-8     	15734137	        71.20 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDESScheduleCancel-8   	96209042	        12.45 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPeriodicStep/N=20-8   	12131853	        94.42 ns/op	      16 B/op	       2 allocs/op
+BenchmarkNewInThisPR-8         	  100000	      1000 ns/op	      64 B/op	       9 allocs/op
+PASS
+ok  	routesync/internal/bench	10.0s
+`
+
+func TestNormalize(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkDESScheduleStep-8":  "DESScheduleStep",
+		"BenchmarkPeriodicStep/N=20":  "PeriodicStep/N=20",
+		"PeriodicStep/N=1000":         "PeriodicStep/N=1000",
+		"BenchmarkClusterGrow/N=20-4": "ClusterGrow/N=20",
+	} {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	m, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"DESScheduleStep":   0,
+		"DESScheduleCancel": 0,
+		"PeriodicStep/N=20": 2,
+		"NewInThisPR":       9,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(m), len(want), m)
+	}
+	for name, allocs := range want {
+		if m[name] != allocs {
+			t.Errorf("%s = %d allocs/op, want %d", name, m[name], allocs)
+		}
+	}
+}
+
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineJSON = `{
+  "benchmarks": [
+    {"name": "DESScheduleStep", "allocs_per_op": 0},
+    {"name": "DESScheduleCancel", "allocs_per_op": 0},
+    {"name": "PeriodicStep/N=20", "allocs_per_op": 2},
+    {"name": "OnlyInBaseline", "allocs_per_op": 0}
+  ]
+}`
+
+func TestGuardPasses(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(writeBaseline(t, baselineJSON), strings.NewReader(sampleBenchOutput), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	// Intersection: three matches; NewInThisPR and OnlyInBaseline skipped.
+	if !strings.Contains(out.String(), "3 benchmarks within baseline") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestGuardCatchesRegression(t *testing.T) {
+	regressed := strings.Replace(sampleBenchOutput,
+		"BenchmarkDESScheduleStep-8     	15734137	        71.20 ns/op	       0 B/op	       0 allocs/op",
+		"BenchmarkDESScheduleStep-8     	15734137	        71.20 ns/op	      16 B/op	       1 allocs/op", 1)
+	var out, errb bytes.Buffer
+	code := run(writeBaseline(t, baselineJSON), strings.NewReader(regressed), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "DESScheduleStep") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 of 3 benchmarks regressed") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}
+
+func TestGuardRejectsEmptyIntersection(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run(writeBaseline(t, `{"benchmarks": [{"name": "Unrelated", "allocs_per_op": 0}]}`),
+		strings.NewReader(sampleBenchOutput), &out, &errb)
+	if code != 1 || !strings.Contains(errb.String(), "no benchmark in the input matched") {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+}
+
+func TestGuardMissingBaseline(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(filepath.Join(t.TempDir(), "nope.json"), strings.NewReader(""), &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"routesync/internal/bench"
+	"routesync/internal/runner"
 )
 
 // benchFileName is this PR's entry in the benchmark trajectory; the
@@ -30,11 +31,11 @@ type benchResult struct {
 // both the micro (ns/op, allocs/op) and macro (per-driver wall time)
 // trajectory for cross-PR comparison.
 type benchFile struct {
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	Benchmarks []benchResult `json:"benchmarks"`
-	Timings    *timingsFile  `json:"timings,omitempty"`
+	GoVersion  string              `json:"go_version"`
+	GOOS       string              `json:"goos"`
+	GOARCH     string              `json:"goarch"`
+	Benchmarks []benchResult       `json:"benchmarks"`
+	Timings    *runner.TimingsFile `json:"timings,omitempty"`
 }
 
 // runBench executes the shared micro-benchmark bodies under
@@ -45,12 +46,14 @@ func runBench(outDir string) error {
 		fn   func(*testing.B)
 	}{
 		{"DESScheduleStep", bench.DESScheduleStep},
+		{"DESScheduleStepObserved", bench.DESScheduleStepObserved},
 		{"DESScheduleCancel", bench.DESScheduleCancel},
 		{"DESTicker", bench.DESTicker},
 		{"TickerStorm", bench.TickerStorm},
 		{"PeriodicStep/N=20", func(b *testing.B) { bench.PeriodicStep(b, 20) }},
 		{"PeriodicStep/N=100", func(b *testing.B) { bench.PeriodicStep(b, 100) }},
 		{"PeriodicStep/N=1000", func(b *testing.B) { bench.PeriodicStep(b, 1000) }},
+		{"PeriodicStepObserved/N=100", func(b *testing.B) { bench.PeriodicStepObserved(b, 100) }},
 		{"ClusterGrow/N=20", func(b *testing.B) { bench.ClusterGrow(b, 20) }},
 		{"ClusterGrow/N=1000", func(b *testing.B) { bench.ClusterGrow(b, 1000) }},
 		{"ClusterGrowSorted/N=1000", func(b *testing.B) { bench.ClusterGrowSorted(b, 1000) }},
@@ -77,7 +80,7 @@ func runBench(outDir string) error {
 	// Attach the most recent full-run driver timings, if a full run has
 	// been recorded in this output directory.
 	if buf, err := os.ReadFile(filepath.Join(outDir, "TIMINGS.json")); err == nil {
-		var tf timingsFile
+		var tf runner.TimingsFile
 		if json.Unmarshal(buf, &tf) == nil {
 			bf.Timings = &tf
 		}

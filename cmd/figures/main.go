@@ -4,8 +4,16 @@
 //
 // Usage:
 //
-//	figures [-out dir] [-quick] [-only fig04,fig12] [-jobs n]
+//	figures [-out dir] [-quick] [-only fig04,fig12] [-jobs n] [-force]
 //	figures -bench [-out dir]
+//
+// The experiments live in the registry under internal/runner (populated
+// by internal/experiments); this command is a thin frontend. Every run
+// maintains <out>/MANIFEST.json — per-experiment params hash, code
+// version, seed, git describe, wall time, and the content hash of each
+// emitted file — and experiments whose manifest entry is up to date are
+// skipped unless -force, so iterating on one figure no longer costs a
+// full regeneration.
 //
 // -bench skips the figure drivers and instead runs the hot-path
 // micro-benchmarks (internal/bench), writing <out>/BENCH_0002.json —
@@ -14,8 +22,8 @@
 // -cpuprofile/-memprofile capture pprof profiles of either mode.
 //
 // The default (paper-scale) run uses the paper's horizons — notably the
-// 10^7-second sweeps of Figures 7 and 8 — and takes a few minutes.
-// -quick shrinks horizons and replication counts to finish in seconds.
+// 10^7-second sweeps of Figures 7 and 8 — and takes a few seconds.
+// -quick shrinks horizons and replication counts further.
 //
 // The drivers are independent, so they run concurrently on at most
 // -jobs workers (default: one per CPU). Output is deterministic for any
@@ -25,55 +33,16 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"sort"
-	"strings"
-	"sync"
 	"time"
 
-	"routesync/internal/experiments"
-	"routesync/internal/parallel"
-	"routesync/internal/workload"
+	_ "routesync/internal/experiments" // registers every experiment
+	"routesync/internal/runner"
 )
-
-// driver is one registered figure: an id selectable with -only and the
-// function that computes it.
-type driver struct {
-	id string
-	fn func() *experiments.Result
-}
-
-// driverRun is what one worker hands back to the in-order consumer.
-type driverRun struct {
-	res     *experiments.Result
-	err     error
-	seconds float64
-}
-
-// driverTiming is one entry of TIMINGS.json.
-type driverTiming struct {
-	ID      string  `json:"id"`
-	Title   string  `json:"title"`
-	Seconds float64 `json:"seconds"`
-	Series  int     `json:"series"`
-	Points  int     `json:"points"`
-}
-
-// timingsFile is the TIMINGS.json schema: enough to track pipeline
-// speedups across PRs the way the BENCH_*.json trajectories do.
-type timingsFile struct {
-	Quick        bool           `json:"quick"`
-	Jobs         int            `json:"jobs"`
-	Workers      int            `json:"workers"`
-	TotalSeconds float64        `json:"total_seconds"`
-	Drivers      []driverTiming `json:"drivers"`
-}
 
 func main() { os.Exit(run()) }
 
@@ -81,13 +50,15 @@ func main() { os.Exit(run()) }
 // os.Exit so the profiling defers below always flush.
 func run() int {
 	var (
-		out     = flag.String("out", "out", "output directory")
-		quick   = flag.Bool("quick", false, "reduced horizons and replications")
-		only    = flag.String("only", "", "comma-separated figure ids to run (default all)")
-		jobs    = flag.Int("jobs", 0, "max concurrent figure drivers (0 = one per CPU)")
-		doBench = flag.Bool("bench", false, "run hot-path micro-benchmarks and write "+benchFileName+" instead of figures")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		out      = flag.String("out", "out", "output directory")
+		quick    = flag.Bool("quick", false, "reduced horizons and replications")
+		only     = flag.String("only", "", "comma-separated figure ids to run (default all)")
+		jobs     = flag.Int("jobs", 0, "max concurrent figure drivers (0 = one per CPU)")
+		force    = flag.Bool("force", false, "re-run experiments even when their manifest entry is up to date")
+		progress = flag.Bool("progress", false, "print live per-experiment engine counters to stderr")
+		doBench  = flag.Bool("bench", false, "run hot-path micro-benchmarks and write "+benchFileName+" instead of figures")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -129,220 +100,29 @@ func run() int {
 		return 0
 	}
 
-	model := experiments.ModelConfig{Horizon: 1e5}
-	sweepHorizon := 1e7
-	markovCfg := experiments.MarkovConfig{Sims: 20, SimHorizon: 5e6, Jobs: *jobs}
-	pings := 1000
-	audioDur := 600.0
-	if *quick {
-		sweepHorizon = 1e6
-		markovCfg = experiments.MarkovConfig{Sims: 3, SimHorizon: 1e6, Jobs: *jobs}
-		pings = 300
-		audioDur = 180
+	opts := runner.Options{
+		Tag:    "figures",
+		Only:   *only,
+		OutDir: *out,
+		Quick:  *quick,
+		Jobs:   *jobs,
+		Force:  *force,
+		Write:  true,
+		Stdout: os.Stdout,
 	}
-
-	// Figures 1 and 2 share one packet-level ping run: fig02 is the
-	// autocorrelation of fig01's RTTs. The run is computed once, on
-	// demand, by whichever driver gets there first, so `-only fig02`
-	// works without also writing fig01.
-	var (
-		fig1Once sync.Once
-		fig1Res  *experiments.Result
-		fig1Ping workload.PingResult
-	)
-	fig1Shared := func() (*experiments.Result, workload.PingResult) {
-		fig1Once.Do(func() {
-			fig1Res, fig1Ping = experiments.Fig1(experiments.PathConfig{}, pings)
-		})
-		return fig1Res, fig1Ping
+	if *progress {
+		opts.Progress = os.Stderr
 	}
-
-	drivers := []driver{
-		{"fig01", func() *experiments.Result {
-			r, _ := fig1Shared()
-			return r
-		}},
-		{"fig02", func() *experiments.Result {
-			_, ping := fig1Shared()
-			return experiments.Fig2(ping, 200)
-		}},
-		{"fig03", func() *experiments.Result {
-			r, _ := experiments.Fig3(experiments.PathConfig{}, audioDur)
-			return r
-		}},
-		{"fig04", func() *experiments.Result { return experiments.Fig4(model) }},
-		{"fig05", func() *experiments.Result { return experiments.Fig5(model, 0, 0) }},
-		{"fig06", func() *experiments.Result { return experiments.Fig6(model) }},
-		{"fig07", func() *experiments.Result {
-			cfg := model
-			cfg.Horizon = sweepHorizon
-			r, _ := experiments.Fig7(cfg, nil)
-			return r
-		}},
-		{"fig08", func() *experiments.Result {
-			cfg := model
-			cfg.Horizon = sweepHorizon
-			r, _ := experiments.Fig8(cfg, nil, 0)
-			return r
-		}},
-		{"fig09", func() *experiments.Result { return experiments.Fig9(markovCfg, 0) }},
-		{"fig10", func() *experiments.Result { return experiments.Fig10(markovCfg, 0) }},
-		{"fig11", func() *experiments.Result { return experiments.Fig11(markovCfg, 0) }},
-		{"fig12", func() *experiments.Result { return experiments.Fig12(markovCfg, 0, 0, 0) }},
-		{"fig13", func() *experiments.Result { return experiments.Fig13(markovCfg, nil, nil) }},
-		{"fig14", func() *experiments.Result { return experiments.Fig14(markovCfg, 0, 0, 0) }},
-		{"fig15", func() *experiments.Result { return experiments.Fig15(markovCfg, 0, 0, 0) }},
-		{"claim_parc", func() *experiments.Result { return experiments.ClaimPARC(0, 1) }},
-		{"claim_guidance", func() *experiments.Result { return experiments.ClaimGuidance() }},
-		{"ablation_timer_policy", func() *experiments.Result { return experiments.AblationTimerPolicy(model) }},
-		{"ablation_solver", func() *experiments.Result { return experiments.AblationSolver(markovCfg, 0) }},
-		{"ablation_delivery", func() *experiments.Result { return experiments.AblationDelivery(nil, 1) }},
-		{"ablation_queueing", func() *experiments.Result { return experiments.AblationQueueing(0, 1) }},
-		{"ext_coherence", func() *experiments.Result { return experiments.ExtCoherence(model) }},
-		{"ext_storm", func() *experiments.Result { return experiments.ExtStorm(0, 1) }},
-		{"ext_nsweep", func() *experiments.Result {
-			seeds := 5
-			if *quick {
-				seeds = 2
-			}
-			return experiments.ExtNSweep(0, nil, seeds, 3e6, 1)
-		}},
-		{"ext_perrouter_fixed", func() *experiments.Result { return experiments.ExtPerRouterFixed(nil, 1) }},
-		{"ext_protocols", func() *experiments.Result { return experiments.ExtProtocolComparison(0, 0) }},
-		{"ext_clientserver", func() *experiments.Result { return experiments.ExtClientServer(0, 1) }},
-		{"ext_externalclock", func() *experiments.Result { return experiments.ExtExternalClock(1) }},
-		{"ext_tcpsync", func() *experiments.Result { return experiments.ExtTCPSync(nil, 1) }},
-		{"ext_threshold", func() *experiments.Result { return experiments.ExtThreshold(nil) }},
-		{"ext_mixed_periods", func() *experiments.Result { return experiments.ExtMixedPeriods(0.1, 1e6, 1) }},
-		{"ext_linkstate", func() *experiments.Result {
-			horizon := 3e5
-			if *quick {
-				horizon = 5e4
-			}
-			return experiments.ExtLinkState(20, horizon, 1)
-		}},
-		{"ext_triggered", func() *experiments.Result {
-			horizon := 3e6
-			if *quick {
-				horizon = 5e5
-			}
-			return experiments.ExtTriggered(nil, horizon, 1)
-		}},
-	}
-
-	active, err := selectDrivers(drivers, *only)
+	sum, err := runner.Run(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		return 1
 	}
-	partial := len(active) != len(drivers)
-
-	var index strings.Builder
-	index.WriteString("# Regenerated figures\n\n")
-	var perDriver []driverTiming
-	failed := false
-	t0 := time.Now()
-	parallel.RunOrdered(len(active), *jobs, func(i int) driverRun {
-		start := time.Now()
-		r := active[i].fn()
-		err := r.WriteFiles(*out)
-		return driverRun{res: r, err: err, seconds: time.Since(start).Seconds()}
-	}, func(i int, run driverRun) {
-		if run.err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", run.err)
-			failed = true
-			return
-		}
-		r := run.res
-		points := 0
-		for _, s := range r.Series {
-			points += s.Len()
-		}
-		perDriver = append(perDriver, driverTiming{
-			ID: r.ID, Title: r.Title, Seconds: run.seconds,
-			Series: len(r.Series), Points: points,
-		})
-		fmt.Printf("== %s (%s, %v)\n", r.ID, r.Title,
-			time.Duration(run.seconds*float64(time.Second)).Round(time.Millisecond))
-		fmt.Fprintf(&index, "## %s — %s\n\n", r.ID, r.Title)
-		for _, n := range r.Notes {
-			fmt.Println("   ", n)
-			fmt.Fprintf(&index, "- %s\n", n)
-		}
-		fmt.Fprintf(&index, "- files: [`%s.csv`](%s.csv), [`%s.txt`](%s.txt)\n\n", r.ID, r.ID, r.ID, r.ID)
-	})
-	total := time.Since(t0)
-	if failed {
-		return 1
+	cached := ""
+	if sum.Cached > 0 {
+		cached = fmt.Sprintf(", %d cached", sum.Cached)
 	}
-
-	// A partial -only run must not clobber the full-run index or the
-	// full-run timing trajectory.
-	if !partial {
-		if err := os.WriteFile(filepath.Join(*out, "INDEX.md"), []byte(index.String()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			return 1
-		}
-		tf := timingsFile{
-			Quick:        *quick,
-			Jobs:         *jobs,
-			Workers:      parallel.Workers(*jobs),
-			TotalSeconds: total.Seconds(),
-			Drivers:      perDriver,
-		}
-		buf, err := json.MarshalIndent(tf, "", "  ")
-		if err == nil {
-			err = os.WriteFile(filepath.Join(*out, "TIMINGS.json"), append(buf, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			return 1
-		}
-	}
-	fmt.Printf("\nwrote %d figures to %s/ in %v (%d workers)\n",
-		len(active), *out, total.Round(time.Millisecond), parallel.Workers(*jobs))
+	fmt.Printf("\nwrote %d figures to %s/ in %v (%d workers%s)\n",
+		len(sum.Experiments), *out, sum.Total.Round(time.Millisecond), sum.Workers, cached)
 	return 0
-}
-
-// selectDrivers filters the registry by the -only flag, preserving
-// registration order. Unknown ids are an error, not a silent no-op: a
-// typo like `-only fig4` must fail loudly instead of printing "wrote
-// figures" having written nothing.
-func selectDrivers(drivers []driver, only string) ([]driver, error) {
-	if strings.TrimSpace(only) == "" {
-		return drivers, nil
-	}
-	want := map[string]bool{}
-	for _, id := range strings.Split(only, ",") {
-		if id = strings.TrimSpace(id); id != "" {
-			want[id] = true
-		}
-	}
-	known := map[string]bool{}
-	var active []driver
-	for _, d := range drivers {
-		known[d.id] = true
-		if want[d.id] {
-			active = append(active, d)
-		}
-	}
-	var unknown []string
-	for id := range want {
-		if !known[id] {
-			unknown = append(unknown, id)
-		}
-	}
-	if len(unknown) > 0 {
-		sort.Strings(unknown)
-		ids := make([]string, len(drivers))
-		for i, d := range drivers {
-			ids[i] = d.id
-		}
-		return nil, fmt.Errorf("unknown figure id(s): %s\nknown ids: %s",
-			strings.Join(unknown, ", "), strings.Join(ids, ", "))
-	}
-	if len(active) == 0 {
-		return nil, fmt.Errorf("-only selected no figures")
-	}
-	return active, nil
 }

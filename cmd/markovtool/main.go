@@ -22,10 +22,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"routesync/internal/markov"
+	"routesync/internal/experiments"
+	"routesync/internal/runner"
 )
 
 func main() {
@@ -35,105 +35,30 @@ func main() {
 		tr    = flag.Float64("tr", 0.1, "random component Tr (seconds)")
 		tc    = flag.Float64("tc", 0.11, "per-message processing cost Tc (seconds)")
 		f2    = flag.Float64("f2", 0, "f(2) in rounds (0 = estimate from p(1,2))")
-		sweep = flag.String("sweep", "", "sweep variable: '', 'tr' (multiples of Tc) or 'n'")
+		sweep = flag.String("sweep", "", "sweep variable: '', 'threshold', 'tr' (multiples of Tc) or 'n'")
 		lo    = flag.Float64("lo", 0.55, "sweep lower bound")
 		hi    = flag.Float64("hi", 4.5, "sweep upper bound")
 		step  = flag.Float64("step", 0.05, "sweep step (tr sweep only)")
+		jobs  = flag.Int("jobs", 0, "max concurrent workers (0 = one per CPU)")
 	)
 	flag.Parse()
 
-	switch *sweep {
-	case "":
-		table(*n, *tp, *tr, *tc, *f2)
-	case "threshold":
-		fmt.Println("N     critical Tr (s)   critical Tr / Tc")
-		for k := int(*lo); k <= int(*hi); k++ {
-			if k < 2 {
-				continue
-			}
-			trc, ok := markov.CriticalTr(k, *tp, *tc, 0)
-			if !ok {
-				fmt.Printf("%-4d  (no threshold in (Tc/2, Tp/2])\n", k)
-				continue
-			}
-			fmt.Printf("%-4d  %-16.4f  %.3f\n", k, trc, trc / *tc)
-		}
-	case "tr":
-		fmt.Println("Tr/Tc     f(N) seconds      g(1) seconds      fraction-unsync")
-		for m := *lo; m <= *hi+1e-9; m += *step {
-			ch := mustChain(*n, *tp, m**tc, *tc, *f2)
-			fmt.Printf("%-8.3f  %-16s  %-16s  %.4f\n",
-				m, secs(ch.FN()*ch.RoundSeconds()), secs(ch.G1()*ch.RoundSeconds()),
-				ch.FractionUnsynchronized())
-		}
-	case "n":
-		fmt.Println("N     f(N) seconds      g(1) seconds      fraction-unsync")
-		for k := int(*lo); k <= int(*hi); k++ {
-			if k < 2 {
-				continue
-			}
-			ch := mustChain(k, *tp, *tr, *tc, *f2)
-			fmt.Printf("%-4d  %-16s  %-16s  %.4f\n",
-				k, secs(ch.FN()*ch.RoundSeconds()), secs(ch.G1()*ch.RoundSeconds()),
-				ch.FractionUnsynchronized())
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "markovtool: unknown sweep %q\n", *sweep)
-		os.Exit(2)
+	id := experiments.MarkovSweepExperiment(*sweep)
+	if id == "" {
+		fmt.Fprintf(os.Stderr, "markovtool: unknown sweep %q (allowed: '', threshold, tr, n)\n", *sweep)
+		os.Exit(1)
 	}
-}
-
-func mustChain(n int, tp, tr, tc, f2 float64) *markov.Chain {
-	ch, err := markov.New(markov.Params{N: n, Tp: tp, Tr: tr, Tc: tc, F2: f2})
+	sum, err := runner.Run(runner.Options{
+		IDs:  []string{id},
+		Jobs: *jobs,
+		Overrides: experiments.MarkovToolOverrides{
+			N: *n, Tp: *tp, Tr: *tr, Tc: *tc, F2: *f2,
+			Lo: *lo, Hi: *hi, Step: *step,
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "markovtool:", err)
 		os.Exit(1)
 	}
-	return ch
-}
-
-func table(n int, tp, tr, tc, f2 float64) {
-	ch := mustChain(n, tp, tr, tc, f2)
-	fmt.Printf("N=%d Tp=%g Tr=%g Tc=%g (Tr = %.2f·Tc); p(1,2)=%.4g f(2)=%.4g rounds\n\n",
-		n, tp, tr, tc, tr/tc, ch.ResolvedP12(), ch.ResolvedF2())
-	f, g := ch.F(), ch.G()
-	fmt.Println(" i   p(i,i+1)   p(i,i-1)   f(i) rounds     g(i) rounds")
-	for i := 1; i <= n; i++ {
-		fmt.Printf("%2d   %.2e  %.2e  %-14s  %-14s\n",
-			i, ch.PUp(i), ch.PDown(i), rounds(f[i]), rounds(g[i]))
-	}
-	fmt.Printf("\nexpected unsync→sync: %s\n", secs(ch.FN()*ch.RoundSeconds()))
-	fmt.Printf("expected sync→unsync: %s\n", secs(ch.G1()*ch.RoundSeconds()))
-	fmt.Printf("fraction of time unsynchronized: %.4f\n", ch.FractionUnsynchronized())
-	if pi := ch.Stationary(); pi != nil {
-		best, idx := 0.0, 1
-		for i := 1; i <= n; i++ {
-			if pi[i] > best {
-				best, idx = pi[i], i
-			}
-		}
-		fmt.Printf("stationary mode: cluster size %d (π=%.3f)\n", idx, best)
-	}
-}
-
-func rounds(v float64) string {
-	if math.IsInf(v, 1) {
-		return "inf"
-	}
-	return fmt.Sprintf("%.4g", v)
-}
-
-func secs(v float64) string {
-	switch {
-	case math.IsInf(v, 1):
-		return "inf"
-	case v > 86400*365:
-		return fmt.Sprintf("%.3g (%.0fy)", v, v/(86400*365))
-	case v > 86400:
-		return fmt.Sprintf("%.3g (%.1fd)", v, v/86400)
-	case v > 3600:
-		return fmt.Sprintf("%.3g (%.1fh)", v, v/3600)
-	default:
-		return fmt.Sprintf("%.4g", v)
-	}
+	fmt.Print(sum.Artifacts[0].ASCII)
 }

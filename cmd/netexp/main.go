@@ -28,6 +28,7 @@ import (
 	"routesync/internal/experiments"
 	"routesync/internal/jitter"
 	"routesync/internal/routing"
+	"routesync/internal/runner"
 )
 
 func main() {
@@ -42,8 +43,15 @@ func main() {
 		duration = flag.Float64("duration", 600, "stream duration in seconds (audio scenario)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		plot     = flag.Bool("plot", true, "render ASCII figures")
+		jobs     = flag.Int("jobs", 0, "max concurrent workers (0 = one per CPU)")
 	)
 	flag.Parse()
+
+	id := experiments.NetexpScenarioExperiment(*scenario)
+	if id == "" {
+		fmt.Fprintf(os.Stderr, "netexp: unknown scenario %q (allowed: ping, audio)\n", *scenario)
+		os.Exit(1)
+	}
 
 	cfg := experiments.PathConfig{
 		Routers:      *routers,
@@ -63,28 +71,20 @@ func main() {
 		}
 	}
 
-	switch *scenario {
-	case "ping":
-		r1, ping := experiments.Fig1(cfg, *pings)
-		show(r1, *plot)
-		r2 := experiments.Fig2(ping, 200)
-		show(r2, *plot)
-	case "audio":
-		r3, _ := experiments.Fig3(cfg, *duration)
-		show(r3, *plot)
-	default:
-		fmt.Fprintf(os.Stderr, "netexp: unknown scenario %q\n", *scenario)
-		os.Exit(2)
+	sum, err := runner.Run(runner.Options{
+		IDs:  []string{id},
+		Seed: *seed,
+		Jobs: *jobs,
+		Overrides: experiments.NetexpOverrides{
+			Path:     cfg,
+			Pings:    *pings,
+			Duration: *duration,
+			Plot:     *plot,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netexp:", err)
+		os.Exit(1)
 	}
-}
-
-func show(r *experiments.Result, plot bool) {
-	if plot {
-		fmt.Println(r.RenderASCII())
-		return
-	}
-	fmt.Printf("== %s — %s\n", r.ID, r.Title)
-	for _, n := range r.Notes {
-		fmt.Println("   ", n)
-	}
+	fmt.Print(sum.Artifacts[0].ASCII)
 }

@@ -13,73 +13,38 @@ import (
 	"fmt"
 	"os"
 
-	"routesync/internal/scenarios"
-	"routesync/internal/trace"
+	"routesync/internal/experiments"
+	"routesync/internal/runner"
 )
 
 func main() {
 	var (
 		which = flag.String("which", "all", "tcp, clientserver, clock, or all")
 		seed  = flag.Int64("seed", 1, "random seed")
+		jobs  = flag.Int("jobs", 0, "max concurrent scenarios (0 = one per CPU)")
 	)
 	flag.Parse()
 
-	ran := false
-	if *which == "tcp" || *which == "all" {
-		runTCP(*seed)
-		ran = true
+	var ids []string
+	if *which == "all" {
+		ids = experiments.ScenarioAll()
+	} else if id := experiments.ScenarioExperiment(*which); id != "" {
+		ids = []string{id}
+	} else {
+		fmt.Fprintf(os.Stderr, "scenarios: unknown -which %q (allowed: tcp, clientserver, clock, all)\n", *which)
+		os.Exit(1)
 	}
-	if *which == "clientserver" || *which == "all" {
-		runClientServer(*seed)
-		ran = true
-	}
-	if *which == "clock" || *which == "all" {
-		runClock(*seed)
-		ran = true
-	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "scenarios: unknown -which %q\n", *which)
-		os.Exit(2)
-	}
-}
 
-func runTCP(seed int64) {
-	fmt.Println("== TCP window synchronization [ZhC190] and the randomized-gateway fix [FJ92]")
-	tail := scenarios.RunTCPSync(scenarios.TCPSyncConfig{Seed: seed})
-	random := scenarios.RunTCPSync(scenarios.TCPSyncConfig{RandomDrop: true, Seed: seed})
-	fmt.Print(trace.Table(
-		[]string{"gateway", "correlation", "cuts/congestion", "utilization"},
-		[][]string{
-			{"drop-tail", fmt.Sprintf("%.2f", tail.SawtoothCorrelation),
-				fmt.Sprintf("%.1f", tail.CutsPerCongestion), fmt.Sprintf("%.2f", tail.Utilization)},
-			{"randomized", fmt.Sprintf("%.2f", random.SawtoothCorrelation),
-				fmt.Sprintf("%.1f", random.CutsPerCongestion), fmt.Sprintf("%.2f", random.Utilization)},
-		}))
-	fmt.Println()
-}
-
-func runClientServer(seed int64) {
-	fmt.Println("== Sprite client-server recovery convoy [Ba92]")
-	for _, tr := range []float64{0.05, 15} {
-		cs := scenarios.NewClientServer(scenarios.ClientServerConfig{
-			N: 20, Tp: 30, Tr: tr, Tc: 0.1, Seed: seed,
-		})
-		cs.RunUntil(60)
-		cs.Sim().Schedule(60.5, "fail", func() { cs.FailServer(65) })
-		cs.RunUntil(600)
-		fmt.Printf("Tr=%-5.2fs: phase coherence %.2f, largest convoy %d\n",
-			tr, cs.OrderParameter(), cs.LargestConvoy())
+	sum, err := runner.Run(runner.Options{
+		IDs:  ids,
+		Seed: *seed,
+		Jobs: *jobs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(1)
 	}
-	fmt.Println()
-}
-
-func runClock(seed int64) {
-	fmt.Println("== synchronization to an external clock [Pa93a]")
-	cfg := scenarios.ExternalClockConfig{Seed: seed}
-	clocked := scenarios.RunExternalClock(cfg)
-	baseline := scenarios.UniformBaseline(cfg)
-	fmt.Print(trace.Bars(
-		[]string{"on-the-hour peak/mean", "uniform peak/mean"},
-		[]float64{clocked.PeakToMean, baseline.PeakToMean}, 40))
-	fmt.Println()
+	for _, art := range sum.Artifacts {
+		fmt.Print(art.ASCII)
+	}
 }

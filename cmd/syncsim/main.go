@@ -18,11 +18,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
-	"routesync"
-	"routesync/internal/trace"
+	"routesync/internal/core"
+	"routesync/internal/experiments"
+	"routesync/internal/runner"
 )
 
 func main() {
@@ -38,88 +38,46 @@ func main() {
 		plot     = flag.Bool("plot", false, "render the largest-cluster-per-round trace")
 		analyze  = flag.Bool("analyze", true, "also print the Markov chain prediction")
 		ensemble = flag.Int("ensemble", 0, "run this many replications in parallel and print quantiles instead of a single run")
+		jobs     = flag.Int("jobs", 0, "max concurrent replications (0 = one per CPU)")
 	)
 	flag.Parse()
 
-	p := routesync.Params{N: *n, Tp: *tp, Tr: *tr, Tc: *tc, Seed: *seed}
-	if *ensemble > 0 {
-		res, err := routesync.SimulateEnsemble(p, *ensemble, *horizon, *start == "sync")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "syncsim:", err)
-			os.Exit(1)
-		}
-		what := "synchronize"
-		if *start == "sync" {
-			what = "break up"
-		}
-		fmt.Printf("ensemble of %d replications (horizon %.3g s): %d reached %s\n",
-			res.Replications, *horizon, res.Reached, what)
-		if res.Reached > 0 {
-			fmt.Printf("  time to %s: mean %s, median %s, p10 %s, p90 %s\n",
-				what, fmtSeconds(res.Mean), fmtSeconds(res.Median),
-				fmtSeconds(res.P10), fmtSeconds(res.P90))
-		}
-		return
+	// Unknown -start values are an error, not silently "unsync": a typo
+	// like `-start synced` must fail loudly instead of simulating the
+	// wrong scenario.
+	var startSync bool
+	switch *start {
+	case "unsync":
+		startSync = false
+	case "sync":
+		startSync = true
+	default:
+		fmt.Fprintf(os.Stderr, "syncsim: unknown -start %q (allowed: unsync, sync)\n", *start)
+		os.Exit(1)
 	}
-	opt := routesync.SimOptions{
+
+	ov := experiments.SyncsimOverrides{
+		Params:            core.Params{N: *n, Tp: *tp, Tr: *tr, Tc: *tc, Seed: *seed},
 		Horizon:           *horizon,
-		StartSynchronized: *start == "sync",
+		StartSynchronized: startSync,
 		BrokenThreshold:   *thresh,
-		RecordTrace:       *plot,
+		Plot:              *plot,
+		Analyze:           *analyze,
+		Ensemble:          *ensemble,
 	}
-	rep, err := routesync.Simulate(p, opt)
+	id := "syncsim_run"
+	if *ensemble > 0 {
+		id = "syncsim_ensemble"
+	}
+	sum, err := runner.Run(runner.Options{
+		IDs:       []string{id},
+		Seed:      *seed,
+		Jobs:      *jobs,
+		Overrides: ov,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "syncsim:", err)
 		os.Exit(1)
 	}
-
-	fmt.Printf("parameters: N=%d Tp=%gs Tr=%gs Tc=%gs seed=%d (Tr = %.2f·Tc)\n",
-		p.N, p.Tp, p.Tr, p.Tc, p.Seed, p.Tr/p.Tc)
-	if opt.StartSynchronized {
-		if rep.Broken {
-			fmt.Printf("synchronization broken after %.0f rounds (%.3g s)\n", rep.BreakRounds, rep.BreakTime)
-		} else {
-			fmt.Printf("synchronization NOT broken within %.3g s\n", *horizon)
-		}
-	} else {
-		if rep.Synchronized {
-			fmt.Printf("fully synchronized after %.0f rounds (%.3g s)\n", rep.SyncRounds, rep.SyncTime)
-		} else {
-			fmt.Printf("NOT synchronized within %.3g s\n", *horizon)
-		}
-	}
-	fmt.Printf("cluster events processed: %d\n", rep.Events)
-
-	if *plot && rep.LargestTrace.Len() > 0 {
-		fmt.Println(trace.Render(trace.PlotOptions{
-			Title:  "largest cluster per round",
-			XLabel: "time (s)", YLabel: "cluster size",
-			YMin: 0, YMax: float64(p.N),
-		}, rep.LargestTrace.Downsample(1+rep.LargestTrace.Len()/2000)))
-	}
-
-	if *analyze {
-		a, err := routesync.Analyze(p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "syncsim: analyze:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nMarkov chain model (paper §5):\n")
-		fmt.Printf("  expected time to synchronize:   %s\n", fmtSeconds(a.ExpectedSyncSeconds))
-		fmt.Printf("  expected time to desynchronize: %s\n", fmtSeconds(a.ExpectedUnsyncSeconds))
-		fmt.Printf("  fraction of time unsynchronized: %.3f (%s)\n", a.FractionUnsynchronized, a.Regime)
-	}
-}
-
-func fmtSeconds(s float64) string {
-	switch {
-	case math.IsInf(s, 1):
-		return "infinite"
-	case s > 86400*365:
-		return fmt.Sprintf("%.3g s (%.3g years)", s, s/(86400*365))
-	case s > 3600:
-		return fmt.Sprintf("%.3g s (%.1f hours)", s, s/3600)
-	default:
-		return fmt.Sprintf("%.3g s", s)
-	}
+	fmt.Print(sum.Artifacts[0].ASCII)
 }

@@ -9,6 +9,7 @@ package bench
 
 import (
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"routesync/internal/cluster"
@@ -17,6 +18,18 @@ import (
 	"routesync/internal/periodic"
 	"routesync/internal/rng"
 )
+
+// benchObserver mirrors the runner's Metrics shape — lock-free atomic
+// counters — so the observed-mode benchmarks price the hook cost the
+// real pipeline pays, without this package depending on the runner layer.
+type benchObserver struct {
+	scheduled, fired, cancelled, rounds atomic.Uint64
+}
+
+func (o *benchObserver) EventScheduled(at des.Time, depth int) { o.scheduled.Add(1) }
+func (o *benchObserver) EventFired(at des.Time, depth int)     { o.fired.Add(1) }
+func (o *benchObserver) EventCancelled(at des.Time, depth int) { o.cancelled.Add(1) }
+func (o *benchObserver) RoundCompleted(now float64, size int)  { o.rounds.Add(1) }
 
 // DESScheduleStep measures the des kernel's steady state: one Step plus
 // one Schedule per iteration against a warm event pool. With the
@@ -46,11 +59,36 @@ func DESScheduleStep(b *testing.B) {
 func DESScheduleCancel(b *testing.B) {
 	sim := des.New()
 	nop := func() {}
+	// Warm the pool: the first schedule ever allocates the slot, and at
+	// b.N == 1 that cold start would read as 1 alloc/op.
+	sim.Cancel(sim.Schedule(1e9, "warm", nop))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := sim.Schedule(des.Time(i)+1e9, "bench", nop)
 		sim.Cancel(ev)
+	}
+}
+
+// DESScheduleStepObserved is DESScheduleStep with a counting observer
+// installed: the steady state must stay at 0 allocs/op, paying only the
+// atomic increments per event.
+func DESScheduleStepObserved(b *testing.B) {
+	sim := des.New()
+	sim.SetObserver(&benchObserver{})
+	nop := func() {}
+	const depth = 64
+	at := des.Time(0)
+	for i := 0; i < depth; i++ {
+		at += 1
+		sim.Schedule(at, "bench", nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+		at += 1
+		sim.Schedule(at, "bench", nop)
 	}
 }
 
@@ -99,6 +137,20 @@ func TickerStorm(b *testing.B) {
 // measuring O(N) clusters on every engine.
 func PeriodicStep(b *testing.B, n int) {
 	sys := periodic.New(PeriodicBenchConfig(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// PeriodicStepObserved is PeriodicStep with a counting observer: the
+// hook adds one branch and one atomic add per cluster firing, and must
+// not change the engine's allocs/op.
+func PeriodicStepObserved(b *testing.B, n int) {
+	cfg := PeriodicBenchConfig(n)
+	cfg.Observer = &benchObserver{}
+	sys := periodic.New(cfg)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -8,14 +8,21 @@ import (
 // Wrappers exposing the shared benchmark bodies to `go test -bench`.
 // `figures -bench` runs the same bodies via testing.Benchmark.
 
-func BenchmarkDESScheduleStep(b *testing.B)   { DESScheduleStep(b) }
-func BenchmarkDESScheduleCancel(b *testing.B) { DESScheduleCancel(b) }
-func BenchmarkDESTicker(b *testing.B)         { DESTicker(b) }
-func BenchmarkTickerStorm(b *testing.B)       { TickerStorm(b) }
+func BenchmarkDESScheduleStep(b *testing.B)         { DESScheduleStep(b) }
+func BenchmarkDESScheduleStepObserved(b *testing.B) { DESScheduleStepObserved(b) }
+func BenchmarkDESScheduleCancel(b *testing.B)       { DESScheduleCancel(b) }
+func BenchmarkDESTicker(b *testing.B)               { DESTicker(b) }
+func BenchmarkTickerStorm(b *testing.B)             { TickerStorm(b) }
 
 func BenchmarkPeriodicStep(b *testing.B) {
 	for _, n := range []int{20, 100, 1000} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { PeriodicStep(b, n) })
+	}
+}
+
+func BenchmarkPeriodicStepObserved(b *testing.B) {
+	for _, n := range []int{20, 100, 1000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { PeriodicStepObserved(b, n) })
 	}
 }
 

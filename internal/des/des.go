@@ -81,6 +81,22 @@ func (e Event) Scheduled() bool {
 	return ok
 }
 
+// Observer receives kernel lifecycle notifications. All methods are called
+// synchronously from within the simulation thread; implementations must not
+// call back into the Simulator. depth is the queue length after the
+// operation. A nil observer (the default) costs a single predictable branch
+// per operation and zero allocations; implementations that only bump
+// counters keep the hot paths allocation-free, since the arguments are
+// scalars and the interface call does not escape them.
+type Observer interface {
+	// EventScheduled fires after Schedule/After queues an event.
+	EventScheduled(at Time, depth int)
+	// EventFired fires when Step dequeues an event, before its callback runs.
+	EventFired(at Time, depth int)
+	// EventCancelled fires when Cancel removes a pending event.
+	EventCancelled(at Time, depth int)
+}
+
 // Simulator owns a clock and an event queue. It is not safe for concurrent
 // use; a simulation is a single logical thread of control.
 type Simulator struct {
@@ -92,12 +108,16 @@ type Simulator struct {
 	processed uint64
 	running   bool
 	stopped   bool
+	obs       Observer
 }
 
 // New returns a Simulator with the clock at zero.
 func New() *Simulator {
 	return &Simulator{}
 }
+
+// SetObserver installs obs (nil to remove). Observation is off by default.
+func (s *Simulator) SetObserver(obs Observer) { s.obs = obs }
 
 // Now returns the current simulation time.
 func (s *Simulator) Now() Time { return s.now }
@@ -213,6 +233,9 @@ func (s *Simulator) Schedule(at Time, label string, fn func()) Event {
 	s.seq++
 	s.queue = append(s.queue, slot)
 	s.siftUp(len(s.queue) - 1)
+	if s.obs != nil {
+		s.obs.EventScheduled(at, len(s.queue))
+	}
 	return Event{sim: s, slot: slot, gen: ev.gen}
 }
 
@@ -228,8 +251,12 @@ func (s *Simulator) Cancel(e Event) bool {
 	if !ok || e.sim != s {
 		return false
 	}
+	at := ev.at
 	s.removeAt(int(ev.index))
 	s.release(e.slot)
+	if s.obs != nil {
+		s.obs.EventCancelled(at, len(s.queue))
+	}
 	return true
 }
 
@@ -246,6 +273,9 @@ func (s *Simulator) Step() bool {
 	fn := ev.fn
 	s.release(slot)
 	s.processed++
+	if s.obs != nil {
+		s.obs.EventFired(s.now, len(s.queue))
+	}
 	fn()
 	return true
 }

@@ -1,0 +1,125 @@
+package des
+
+import "testing"
+
+// countObserver is a minimal Observer for hook-order and alloc tests.
+type countObserver struct {
+	scheduled, fired, cancelled int
+	maxDepth                    int
+	lastAt                      Time
+}
+
+func (o *countObserver) EventScheduled(at Time, depth int) {
+	o.scheduled++
+	o.lastAt = at
+	if depth > o.maxDepth {
+		o.maxDepth = depth
+	}
+}
+func (o *countObserver) EventFired(at Time, depth int)     { o.fired++; o.lastAt = at }
+func (o *countObserver) EventCancelled(at Time, depth int) { o.cancelled++; o.lastAt = at }
+
+func TestObserverCounts(t *testing.T) {
+	sim := New()
+	obs := &countObserver{}
+	sim.SetObserver(obs)
+
+	nop := func() {}
+	sim.Schedule(1, "a", nop)
+	ev := sim.Schedule(2, "b", nop)
+	sim.Schedule(3, "c", nop)
+	if obs.scheduled != 3 {
+		t.Fatalf("scheduled = %d, want 3", obs.scheduled)
+	}
+	if obs.maxDepth != 3 {
+		t.Fatalf("maxDepth = %d, want 3", obs.maxDepth)
+	}
+
+	sim.Cancel(ev)
+	if obs.cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", obs.cancelled)
+	}
+	// The cancel notification carries the cancelled event's time.
+	if obs.lastAt != 2 {
+		t.Fatalf("cancel lastAt = %v, want 2", obs.lastAt)
+	}
+
+	for sim.Step() {
+	}
+	if obs.fired != 2 {
+		t.Fatalf("fired = %d, want 2 (one cancelled)", obs.fired)
+	}
+}
+
+func TestObserverFiredBeforeCallback(t *testing.T) {
+	// The fire notification must precede the event callback, so a callback
+	// that schedules follow-up work observes its own firing first.
+	sim := New()
+	obs := &countObserver{}
+	sim.SetObserver(obs)
+	firedAtCallback := -1
+	sim.Schedule(1, "probe", func() { firedAtCallback = obs.fired })
+	sim.Step()
+	if firedAtCallback != 1 {
+		t.Fatalf("callback saw fired = %d, want 1", firedAtCallback)
+	}
+}
+
+// TestStepNoObserverAllocs is the alloc guard for the nil-observer hot
+// path: adding the observer hooks must not regress the kernel's
+// steady-state 0 allocs/op.
+func TestStepNoObserverAllocs(t *testing.T) {
+	sim := New()
+	nop := func() {}
+	at := Time(0)
+	for i := 0; i < 64; i++ {
+		at += 1
+		sim.Schedule(at, "warm", nop)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sim.Step()
+		at += 1
+		sim.Schedule(at, "warm", nop)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-observer schedule+step = %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestStepObservedAllocs pins the observed path too: a value-free
+// observer like countObserver adds counting work but no allocation.
+func TestStepObservedAllocs(t *testing.T) {
+	sim := New()
+	sim.SetObserver(&countObserver{})
+	nop := func() {}
+	at := Time(0)
+	for i := 0; i < 64; i++ {
+		at += 1
+		sim.Schedule(at, "warm", nop)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		sim.Step()
+		at += 1
+		sim.Schedule(at, "warm", nop)
+	})
+	if allocs != 0 {
+		t.Fatalf("observed schedule+step = %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestCancelNoObserverAllocs(t *testing.T) {
+	sim := New()
+	nop := func() {}
+	// Warm the event pool so the measured loop recycles slots.
+	ev := sim.Schedule(1e9, "warm", nop)
+	sim.Cancel(ev)
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		i++
+		ev := sim.Schedule(Time(i)+1e9, "churn", nop)
+		sim.Cancel(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+cancel = %v allocs/op, want 0", allocs)
+	}
+}

@@ -31,9 +31,10 @@ func AblationTimerPolicy(c ModelConfig) *Result {
 	for _, mode := range []periodic.TimerReset{periodic.ResetAfterProcessing, periodic.ResetOnExpiry} {
 		cfg := periodic.Config{
 			N: c.N, Tc: c.Tc,
-			Jitter: jitter.Uniform{Tp: c.Tp, Tr: c.Tr},
-			Reset:  mode,
-			Seed:   c.Seed,
+			Jitter:   jitter.Uniform{Tp: c.Tp, Tr: c.Tr},
+			Reset:    mode,
+			Seed:     c.Seed,
+			Observer: c.Obs,
 		}
 		s := periodic.New(cfg)
 		times, sizes := s.LargestPerRound(c.Horizon)

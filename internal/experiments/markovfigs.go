@@ -32,6 +32,9 @@ type MarkovConfig struct {
 	// or negative means one per CPU. Replication s always uses seed
 	// Seed+s, so results are identical for every Jobs value.
 	Jobs int
+	// Obs, when non-nil, observes every simulation replication the
+	// driver runs. Instrumentation only; excluded from params hashing.
+	Obs periodic.Observer `json:"-"`
 }
 
 // Defaults fills zero fields with the paper's values.
@@ -141,8 +144,9 @@ func simFirstPassageUp(c MarkovConfig, tr float64) []float64 {
 	perSim := parallel.Run(c.Sims, c.Jobs, func(s int) []float64 {
 		sys := periodic.New(periodic.Config{
 			N: c.N, Tc: c.Tc,
-			Jitter: jitter.Uniform{Tp: c.Tp, Tr: tr},
-			Seed:   c.Seed + int64(s),
+			Jitter:   jitter.Uniform{Tp: c.Tp, Tr: tr},
+			Seed:     c.Seed + int64(s),
+			Observer: c.Obs,
 		})
 		return sys.FirstPassageUp(c.SimHorizon)
 	})
@@ -155,9 +159,10 @@ func simFirstPassageDown(c MarkovConfig, tr float64) []float64 {
 	perSim := parallel.Run(c.Sims, c.Jobs, func(s int) []float64 {
 		sys := periodic.New(periodic.Config{
 			N: c.N, Tc: c.Tc,
-			Jitter: jitter.Uniform{Tp: c.Tp, Tr: tr},
-			Start:  periodic.StartSynchronized,
-			Seed:   c.Seed + int64(s),
+			Jitter:   jitter.Uniform{Tp: c.Tp, Tr: tr},
+			Start:    periodic.StartSynchronized,
+			Seed:     c.Seed + int64(s),
+			Observer: c.Obs,
 		})
 		return sys.FirstPassageDown(c.SimHorizon)
 	})
@@ -265,9 +270,10 @@ func Fig12(c MarkovConfig, trOverTcLo, trOverTcHi, step float64) *Result {
 			times := parallel.Run(seeds, c.Jobs, func(s int) float64 {
 				sys := periodic.New(periodic.Config{
 					N: c.N, Tc: c.Tc,
-					Jitter: jitter.Uniform{Tp: c.Tp, Tr: m * c.Tc},
-					Start:  start,
-					Seed:   c.Seed + int64(s),
+					Jitter:   jitter.Uniform{Tp: c.Tp, Tr: m * c.Tc},
+					Start:    start,
+					Seed:     c.Seed + int64(s),
+					Observer: c.Obs,
 				})
 				res := run(sys)
 				if !res.Reached {

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"routesync/internal/markov"
+	"routesync/internal/runner"
+)
+
+// MarkovToolOverrides carries cmd/markovtool's flags into the registered
+// analysis-table experiments.
+type MarkovToolOverrides struct {
+	N    int     `json:"n"`
+	Tp   float64 `json:"tp"`
+	Tr   float64 `json:"tr"`
+	Tc   float64 `json:"tc"`
+	F2   float64 `json:"f2"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+	Step float64 `json:"step"`
+}
+
+// markovToolDefaults mirrors the markovtool flag defaults for callers
+// that pass a nil override.
+func markovToolDefaults() MarkovToolOverrides {
+	return MarkovToolOverrides{N: 20, Tp: 121, Tr: 0.1, Tc: 0.11, Lo: 0.55, Hi: 4.5, Step: 0.05}
+}
+
+func markovToolOverrides(spec *runner.Spec) MarkovToolOverrides {
+	if o, ok := spec.Overrides.(MarkovToolOverrides); ok {
+		return o
+	}
+	return markovToolDefaults()
+}
+
+// MarkovSweeps lists the valid -sweep values ("" is the single-point
+// table) in the order frontends should print them.
+func MarkovSweeps() []string { return []string{"", "threshold", "tr", "n"} }
+
+// MarkovSweepExperiment maps a -sweep flag value to its experiment id,
+// or "" for an unknown sweep.
+func MarkovSweepExperiment(sweep string) string {
+	switch sweep {
+	case "":
+		return "markov_table"
+	case "threshold":
+		return "markov_sweep_threshold"
+	case "tr":
+		return "markov_sweep_tr"
+	case "n":
+		return "markov_sweep_n"
+	default:
+		return ""
+	}
+}
+
+func registerMarkovTool(reg *runner.Registry) {
+	reg.Register(runner.Experiment{
+		ID:    "markov_table",
+		Title: "Markov chain single-point analysis table",
+		Tags:  []string{"markovtool"},
+		Cost:  runner.CostCheap,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			o := markovToolOverrides(spec)
+			ch, err := markov.New(markov.Params{N: o.N, Tp: o.Tp, Tr: o.Tr, Tc: o.Tc, F2: o.F2})
+			if err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "N=%d Tp=%g Tr=%g Tc=%g (Tr = %.2f·Tc); p(1,2)=%.4g f(2)=%.4g rounds\n\n",
+				o.N, o.Tp, o.Tr, o.Tc, o.Tr/o.Tc, ch.ResolvedP12(), ch.ResolvedF2())
+			f, g := ch.F(), ch.G()
+			fmt.Fprintln(&b, " i   p(i,i+1)   p(i,i-1)   f(i) rounds     g(i) rounds")
+			for i := 1; i <= o.N; i++ {
+				fmt.Fprintf(&b, "%2d   %.2e  %.2e  %-14s  %-14s\n",
+					i, ch.PUp(i), ch.PDown(i), markovRounds(f[i]), markovRounds(g[i]))
+			}
+			fmt.Fprintf(&b, "\nexpected unsync→sync: %s\n", markovSecs(ch.FN()*ch.RoundSeconds()))
+			fmt.Fprintf(&b, "expected sync→unsync: %s\n", markovSecs(ch.G1()*ch.RoundSeconds()))
+			fmt.Fprintf(&b, "fraction of time unsynchronized: %.4f\n", ch.FractionUnsynchronized())
+			if pi := ch.Stationary(); pi != nil {
+				best, idx := 0.0, 1
+				for i := 1; i <= o.N; i++ {
+					if pi[i] > best {
+						best, idx = pi[i], i
+					}
+				}
+				fmt.Fprintf(&b, "stationary mode: cluster size %d (π=%.3f)\n", idx, best)
+			}
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+	reg.Register(runner.Experiment{
+		ID:    "markov_sweep_threshold",
+		Title: "critical Tr threshold vs router count",
+		Tags:  []string{"markovtool"},
+		Cost:  runner.CostCheap,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			o := markovToolOverrides(spec)
+			var b strings.Builder
+			fmt.Fprintln(&b, "N     critical Tr (s)   critical Tr / Tc")
+			for k := int(o.Lo); k <= int(o.Hi); k++ {
+				if k < 2 {
+					continue
+				}
+				trc, ok := markov.CriticalTr(k, o.Tp, o.Tc, 0)
+				if !ok {
+					fmt.Fprintf(&b, "%-4d  (no threshold in (Tc/2, Tp/2])\n", k)
+					continue
+				}
+				fmt.Fprintf(&b, "%-4d  %-16.4f  %.3f\n", k, trc, trc/o.Tc)
+			}
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+	reg.Register(runner.Experiment{
+		ID:    "markov_sweep_tr",
+		Title: "hitting times and fraction-unsync vs Tr",
+		Tags:  []string{"markovtool"},
+		Cost:  runner.CostCheap,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			o := markovToolOverrides(spec)
+			var b strings.Builder
+			fmt.Fprintln(&b, "Tr/Tc     f(N) seconds      g(1) seconds      fraction-unsync")
+			for m := o.Lo; m <= o.Hi+1e-9; m += o.Step {
+				ch, err := markov.New(markov.Params{N: o.N, Tp: o.Tp, Tr: m * o.Tc, Tc: o.Tc, F2: o.F2})
+				if err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(&b, "%-8.3f  %-16s  %-16s  %.4f\n",
+					m, markovSecs(ch.FN()*ch.RoundSeconds()), markovSecs(ch.G1()*ch.RoundSeconds()),
+					ch.FractionUnsynchronized())
+			}
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+	reg.Register(runner.Experiment{
+		ID:    "markov_sweep_n",
+		Title: "hitting times and fraction-unsync vs router count",
+		Tags:  []string{"markovtool"},
+		Cost:  runner.CostCheap,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			o := markovToolOverrides(spec)
+			var b strings.Builder
+			fmt.Fprintln(&b, "N     f(N) seconds      g(1) seconds      fraction-unsync")
+			for k := int(o.Lo); k <= int(o.Hi); k++ {
+				if k < 2 {
+					continue
+				}
+				ch, err := markov.New(markov.Params{N: k, Tp: o.Tp, Tr: o.Tr, Tc: o.Tc, F2: o.F2})
+				if err != nil {
+					return nil, err
+				}
+				fmt.Fprintf(&b, "%-4d  %-16s  %-16s  %.4f\n",
+					k, markovSecs(ch.FN()*ch.RoundSeconds()), markovSecs(ch.G1()*ch.RoundSeconds()),
+					ch.FractionUnsynchronized())
+			}
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+}
+
+// markovRounds formats a hitting time in rounds the way markovtool's
+// table always has.
+func markovRounds(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// markovSecs formats a duration in seconds with day/hour/year annotations.
+func markovSecs(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case v > 86400*365:
+		return fmt.Sprintf("%.3g (%.0fy)", v, v/(86400*365))
+	case v > 86400:
+		return fmt.Sprintf("%.3g (%.1fd)", v, v/86400)
+	case v > 3600:
+		return fmt.Sprintf("%.3g (%.1fh)", v, v/3600)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

@@ -19,6 +19,10 @@ type ModelConfig struct {
 	Tr      float64 // random component (paper Fig 4: 0.1 s)
 	Seed    int64
 	Horizon float64 // simulation horizon in seconds
+	// Obs, when non-nil, observes every periodic.System the driver
+	// builds. It is instrumentation, not a model parameter: it never
+	// affects output and is excluded from params hashing.
+	Obs periodic.Observer `json:"-"`
 }
 
 // Defaults fills zero fields with the paper's §4 values.
@@ -46,11 +50,12 @@ func (c ModelConfig) Defaults() ModelConfig {
 
 func (c ModelConfig) system(start periodic.StartState) *periodic.System {
 	return periodic.New(periodic.Config{
-		N:      c.N,
-		Tc:     c.Tc,
-		Jitter: jitter.Uniform{Tp: c.Tp, Tr: c.Tr},
-		Start:  start,
-		Seed:   c.Seed,
+		N:        c.N,
+		Tc:       c.Tc,
+		Jitter:   jitter.Uniform{Tp: c.Tp, Tr: c.Tr},
+		Start:    start,
+		Seed:     c.Seed,
+		Observer: c.Obs,
 	})
 }
 

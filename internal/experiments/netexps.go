@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 
+	"routesync/internal/des"
 	"routesync/internal/jitter"
 	"routesync/internal/netsim"
 	"routesync/internal/rng"
@@ -43,6 +44,9 @@ type PathConfig struct {
 	// networks were synchronized); false draws offsets over one period.
 	Synchronized bool
 	Seed         int64
+	// Obs, when non-nil, observes the network's event kernel.
+	// Instrumentation only; excluded from params hashing.
+	Obs des.Observer `json:"-"`
 }
 
 // Defaults fills zero fields with the Figure 1 scenario.
@@ -81,6 +85,9 @@ type builtPath struct {
 // routing protocol).
 func buildPath(c PathConfig) *builtPath {
 	net := netsim.NewNetwork(c.Seed)
+	if c.Obs != nil {
+		net.Sim.SetObserver(c.Obs)
+	}
 	cpuCfg := &netsim.CPUConfig{
 		Mode:          netsim.CPUModeLegacy,
 		InputQueueCap: c.InputQueueCap,

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"routesync/internal/runner"
+)
+
+// NetexpOverrides carries cmd/netexp's flags into the registered
+// packet-level scenario experiments. Path.Obs is stripped before
+// hashing (it is tagged json:"-"), so observer wiring never forces a
+// re-run.
+type NetexpOverrides struct {
+	Path     PathConfig `json:"path"`
+	Pings    int        `json:"pings"`
+	Duration float64    `json:"duration"`
+	Plot     bool       `json:"plot"`
+}
+
+// netexpDefaults mirrors the netexp flag defaults.
+func netexpDefaults() NetexpOverrides {
+	return NetexpOverrides{
+		Path:     PathConfig{Routers: 10, ExtraRoutes: 300, PerRouteCost: 0.001, Seed: 1},
+		Pings:    1000,
+		Duration: 600,
+		Plot:     true,
+	}
+}
+
+func netexpOverrides(spec *runner.Spec) NetexpOverrides {
+	if o, ok := spec.Overrides.(NetexpOverrides); ok {
+		return o
+	}
+	return netexpDefaults()
+}
+
+// NetexpScenarios lists the valid -scenario values.
+func NetexpScenarios() []string { return []string{"ping", "audio"} }
+
+// NetexpScenarioExperiment maps a -scenario flag value to its experiment
+// id, or "" for an unknown scenario.
+func NetexpScenarioExperiment(scenario string) string {
+	switch scenario {
+	case "ping":
+		return "netexp_ping"
+	case "audio":
+		return "netexp_audio"
+	default:
+		return ""
+	}
+}
+
+// netexpShow renders one figure the way cmd/netexp always has: the full
+// ASCII plot, or just the header and notes with -plot=false.
+func netexpShow(b *strings.Builder, r *Result, plot bool) {
+	if plot {
+		fmt.Fprintln(b, r.RenderASCII())
+		return
+	}
+	fmt.Fprintf(b, "== %s — %s\n", r.ID, r.Title)
+	for _, n := range r.Notes {
+		fmt.Fprintln(b, "   ", n)
+	}
+}
+
+func registerNetexpTool(reg *runner.Registry) {
+	reg.Register(runner.Experiment{
+		ID:    "netexp_ping",
+		Title: "packet-level ping path (Figures 1–2 scenario)",
+		Tags:  []string{"netexp"},
+		Cost:  runner.CostModerate,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			o := netexpOverrides(spec)
+			cfg := o.Path
+			cfg.Obs = spec.DESObserver()
+			var b strings.Builder
+			r1, ping := Fig1(cfg, o.Pings)
+			netexpShow(&b, r1, o.Plot)
+			r2 := Fig2(ping, 200)
+			netexpShow(&b, r2, o.Plot)
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+	reg.Register(runner.Experiment{
+		ID:    "netexp_audio",
+		Title: "packet-level CBR audio stream (Figure 3 scenario)",
+		Tags:  []string{"netexp"},
+		Cost:  runner.CostModerate,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			o := netexpOverrides(spec)
+			cfg := o.Path
+			cfg.Obs = spec.DESObserver()
+			var b strings.Builder
+			r3, _ := Fig3(cfg, o.Duration)
+			netexpShow(&b, r3, o.Plot)
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"routesync/internal/runner"
+	"routesync/internal/scenarios"
+	"routesync/internal/trace"
+)
+
+// ScenarioWhich lists the valid -which values for cmd/scenarios, "all"
+// excluded (the frontend expands it to the full id list).
+func ScenarioWhich() []string { return []string{"tcp", "clientserver", "clock", "all"} }
+
+// ScenarioExperiment maps a -which flag value to its experiment id, or
+// "" for an unknown (or "all") selection.
+func ScenarioExperiment(which string) string {
+	switch which {
+	case "tcp":
+		return "scenario_tcp"
+	case "clientserver":
+		return "scenario_clientserver"
+	case "clock":
+		return "scenario_clock"
+	default:
+		return ""
+	}
+}
+
+// ScenarioAll lists the §1 catalogue experiment ids in the order
+// `-which all` has always printed them.
+func ScenarioAll() []string {
+	return []string{"scenario_tcp", "scenario_clientserver", "scenario_clock"}
+}
+
+func registerScenarioTool(reg *runner.Registry) {
+	reg.Register(runner.Experiment{
+		ID:    "scenario_tcp",
+		Title: "TCP window global synchronization and the randomized-gateway fix",
+		Tags:  []string{"scenarios"},
+		Cost:  runner.CostModerate,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			seed := spec.Seed
+			var b strings.Builder
+			fmt.Fprintln(&b, "== TCP window synchronization [ZhC190] and the randomized-gateway fix [FJ92]")
+			tail := scenarios.RunTCPSync(scenarios.TCPSyncConfig{Seed: seed})
+			random := scenarios.RunTCPSync(scenarios.TCPSyncConfig{RandomDrop: true, Seed: seed})
+			b.WriteString(trace.Table(
+				[]string{"gateway", "correlation", "cuts/congestion", "utilization"},
+				[][]string{
+					{"drop-tail", fmt.Sprintf("%.2f", tail.SawtoothCorrelation),
+						fmt.Sprintf("%.1f", tail.CutsPerCongestion), fmt.Sprintf("%.2f", tail.Utilization)},
+					{"randomized", fmt.Sprintf("%.2f", random.SawtoothCorrelation),
+						fmt.Sprintf("%.1f", random.CutsPerCongestion), fmt.Sprintf("%.2f", random.Utilization)},
+				}))
+			fmt.Fprintln(&b)
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+	reg.Register(runner.Experiment{
+		ID:    "scenario_clientserver",
+		Title: "Sprite client-server recovery convoy",
+		Tags:  []string{"scenarios"},
+		Cost:  runner.CostModerate,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			seed := spec.Seed
+			var b strings.Builder
+			fmt.Fprintln(&b, "== Sprite client-server recovery convoy [Ba92]")
+			for _, tr := range []float64{0.05, 15} {
+				cs := scenarios.NewClientServer(scenarios.ClientServerConfig{
+					N: 20, Tp: 30, Tr: tr, Tc: 0.1, Seed: seed,
+				})
+				cs.RunUntil(60)
+				cs.Sim().Schedule(60.5, "fail", func() { cs.FailServer(65) })
+				cs.RunUntil(600)
+				fmt.Fprintf(&b, "Tr=%-5.2fs: phase coherence %.2f, largest convoy %d\n",
+					tr, cs.OrderParameter(), cs.LargestConvoy())
+			}
+			fmt.Fprintln(&b)
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+	reg.Register(runner.Experiment{
+		ID:    "scenario_clock",
+		Title: "synchronization to an external clock",
+		Tags:  []string{"scenarios"},
+		Cost:  runner.CostCheap,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			var b strings.Builder
+			fmt.Fprintln(&b, "== synchronization to an external clock [Pa93a]")
+			cfg := scenarios.ExternalClockConfig{Seed: spec.Seed}
+			clocked := scenarios.RunExternalClock(cfg)
+			baseline := scenarios.UniformBaseline(cfg)
+			b.WriteString(trace.Bars(
+				[]string{"on-the-hour peak/mean", "uniform peak/mean"},
+				[]float64{clocked.PeakToMean, baseline.PeakToMean}, 40))
+			fmt.Fprintln(&b)
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+}

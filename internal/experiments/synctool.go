@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"routesync/internal/core"
+	"routesync/internal/runner"
+	"routesync/internal/trace"
+)
+
+// SyncsimOverrides carries cmd/syncsim's flags into the registered
+// model-run experiments.
+type SyncsimOverrides struct {
+	Params            core.Params `json:"params"`
+	Horizon           float64     `json:"horizon"`
+	StartSynchronized bool        `json:"start_synchronized"`
+	BrokenThreshold   int         `json:"broken_threshold"`
+	Plot              bool        `json:"plot"`
+	Analyze           bool        `json:"analyze"`
+	Ensemble          int         `json:"ensemble"`
+}
+
+// syncsimDefaults mirrors the syncsim flag defaults.
+func syncsimDefaults() SyncsimOverrides {
+	return SyncsimOverrides{
+		Params:          core.Params{N: 20, Tp: 121, Tr: 0.1, Tc: 0.11, Seed: 1},
+		Horizon:         1e6,
+		BrokenThreshold: 2,
+		Analyze:         true,
+	}
+}
+
+func syncsimOverrides(spec *runner.Spec) SyncsimOverrides {
+	if o, ok := spec.Overrides.(SyncsimOverrides); ok {
+		return o
+	}
+	return syncsimDefaults()
+}
+
+func registerSyncsimTool(reg *runner.Registry) {
+	reg.Register(runner.Experiment{
+		ID:    "syncsim_run",
+		Title: "single Periodic Messages model run with Markov analysis",
+		Tags:  []string{"syncsim"},
+		Cost:  runner.CostModerate,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			o := syncsimOverrides(spec)
+			opt := core.SimOptions{
+				Horizon:           o.Horizon,
+				StartSynchronized: o.StartSynchronized,
+				BrokenThreshold:   o.BrokenThreshold,
+				RecordTrace:       o.Plot,
+			}
+			rep, err := core.Simulate(o.Params, opt)
+			if err != nil {
+				return nil, err
+			}
+			p := o.Params
+			var b strings.Builder
+			fmt.Fprintf(&b, "parameters: N=%d Tp=%gs Tr=%gs Tc=%gs seed=%d (Tr = %.2f·Tc)\n",
+				p.N, p.Tp, p.Tr, p.Tc, p.Seed, p.Tr/p.Tc)
+			if opt.StartSynchronized {
+				if rep.Broken {
+					fmt.Fprintf(&b, "synchronization broken after %.0f rounds (%.3g s)\n", rep.BreakRounds, rep.BreakTime)
+				} else {
+					fmt.Fprintf(&b, "synchronization NOT broken within %.3g s\n", o.Horizon)
+				}
+			} else {
+				if rep.Synchronized {
+					fmt.Fprintf(&b, "fully synchronized after %.0f rounds (%.3g s)\n", rep.SyncRounds, rep.SyncTime)
+				} else {
+					fmt.Fprintf(&b, "NOT synchronized within %.3g s\n", o.Horizon)
+				}
+			}
+			fmt.Fprintf(&b, "cluster events processed: %d\n", rep.Events)
+
+			if o.Plot && rep.LargestTrace.Len() > 0 {
+				fmt.Fprintln(&b, trace.Render(trace.PlotOptions{
+					Title:  "largest cluster per round",
+					XLabel: "time (s)", YLabel: "cluster size",
+					YMin: 0, YMax: float64(p.N),
+				}, rep.LargestTrace.Downsample(1+rep.LargestTrace.Len()/2000)))
+			}
+
+			if o.Analyze {
+				a, err := core.Analyze(p)
+				if err != nil {
+					return nil, fmt.Errorf("analyze: %w", err)
+				}
+				fmt.Fprintf(&b, "\nMarkov chain model (paper §5):\n")
+				fmt.Fprintf(&b, "  expected time to synchronize:   %s\n", syncsimSeconds(a.ExpectedSyncSeconds))
+				fmt.Fprintf(&b, "  expected time to desynchronize: %s\n", syncsimSeconds(a.ExpectedUnsyncSeconds))
+				fmt.Fprintf(&b, "  fraction of time unsynchronized: %.3f (%s)\n", a.FractionUnsynchronized, a.Regime)
+			}
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+	reg.Register(runner.Experiment{
+		ID:    "syncsim_ensemble",
+		Title: "Periodic Messages model ensemble quantiles",
+		Tags:  []string{"syncsim"},
+		Cost:  runner.CostExpensive,
+		Run: func(spec *runner.Spec) (*runner.Artifacts, error) {
+			o := syncsimOverrides(spec)
+			res, err := core.SimulateEnsemble(o.Params, o.Ensemble, o.Horizon, o.StartSynchronized)
+			if err != nil {
+				return nil, err
+			}
+			what := "synchronize"
+			if o.StartSynchronized {
+				what = "break up"
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "ensemble of %d replications (horizon %.3g s): %d reached %s\n",
+				res.Replications, o.Horizon, res.Reached, what)
+			if res.Reached > 0 {
+				fmt.Fprintf(&b, "  time to %s: mean %s, median %s, p10 %s, p90 %s\n",
+					what, syncsimSeconds(res.Mean), syncsimSeconds(res.Median),
+					syncsimSeconds(res.P10), syncsimSeconds(res.P90))
+			}
+			return &runner.Artifacts{ASCII: b.String()}, nil
+		},
+	})
+}
+
+// syncsimSeconds formats a duration the way cmd/syncsim always has.
+func syncsimSeconds(s float64) string {
+	switch {
+	case math.IsInf(s, 1):
+		return "infinite"
+	case s > 86400*365:
+		return fmt.Sprintf("%.3g s (%.3g years)", s, s/(86400*365))
+	case s > 3600:
+		return fmt.Sprintf("%.3g s (%.1f hours)", s, s/3600)
+	default:
+		return fmt.Sprintf("%.3g s", s)
+	}
+}

@@ -94,6 +94,19 @@ type Config struct {
 	// Seed drives all randomness. Two runs with equal Config replay
 	// identically.
 	Seed int64
+	// Observer, when non-nil, is notified after every cluster firing.
+	// Unlike OnEvent callbacks it receives only scalars, so counting
+	// rounds costs no allocations. Nil (the default) costs one branch.
+	Observer Observer
+}
+
+// Observer receives model lifecycle notifications. Methods are called
+// synchronously from Step; implementations must not call back into the
+// System. A nil observer is free apart from a single branch per event.
+type Observer interface {
+	// RoundCompleted fires after each cluster event: now is the busy-window
+	// end the clock advanced to, size the number of routers in the cluster.
+	RoundCompleted(now float64, size int)
 }
 
 // Paper returns the configuration used throughout the paper's §4
@@ -238,6 +251,10 @@ func (s *System) SetExpiries(e []float64) {
 // OnEvent registers an observer invoked after every cluster firing.
 func (s *System) OnEvent(fn func(Event)) { s.onEvent = append(s.onEvent, fn) }
 
+// SetObserver installs obs (nil to remove), equivalent to having set
+// Config.Observer before construction.
+func (s *System) SetObserver(obs Observer) { s.cfg.Observer = obs }
+
 // TriggerUpdate models a major network change (§3 step 4): every router
 // sends a triggered update immediately, without waiting for its timer. All
 // timers are therefore re-armed from one shared busy window — the system
@@ -301,6 +318,9 @@ func (s *System) Step() Event {
 	}
 	ev.Next = s.expiry[s.heap[0]]
 	s.steps++
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.RoundCompleted(s.now, k)
+	}
 	for _, fn := range s.onEvent {
 		fn(ev)
 	}
@@ -345,6 +365,9 @@ func (s *System) stepReference() Event {
 		}
 	}
 	s.steps++
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.RoundCompleted(s.now, c.Size())
+	}
 	for _, fn := range s.onEvent {
 		fn(ev)
 	}

@@ -1,0 +1,175 @@
+// Package runner is the experiment-management layer between the
+// simulation engines and the command-line frontends: a registry of named
+// experiments, a Spec→Artifacts run contract, MANIFEST.json provenance
+// (params hash, code version, git describe, wall time, content hash of
+// every emitted file), incremental re-runs that skip up-to-date
+// experiments, and live progress wiring for the engine observer hooks in
+// internal/des and internal/periodic.
+//
+// The layer absorbs what used to be private to cmd/figures — the driver
+// table, -only selection, TIMINGS.json bookkeeping, and partial-run index
+// protection — so every frontend (figures, syncsim, markovtool, netexp,
+// scenarios) shares one implementation of -only/-jobs/-quick and
+// deterministic seed-per-index semantics.
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CostClass is a coarse wall-time expectation for an experiment at paper
+// scale, used for scheduling hints and registry listings.
+type CostClass int
+
+const (
+	// CostCheap finishes in well under a second.
+	CostCheap CostClass = iota
+	// CostModerate takes on the order of a second.
+	CostModerate
+	// CostExpensive dominates a full regeneration (long sweeps).
+	CostExpensive
+)
+
+// String returns the cost-class name.
+func (c CostClass) String() string {
+	switch c {
+	case CostCheap:
+		return "cheap"
+	case CostModerate:
+		return "moderate"
+	case CostExpensive:
+		return "expensive"
+	default:
+		return fmt.Sprintf("CostClass(%d)", int(c))
+	}
+}
+
+// Experiment is one registered, runnable unit: a figure driver, an
+// analysis table, or a scenario study.
+type Experiment struct {
+	// ID is the unique handle used by -only and manifest entries.
+	ID string
+	// Title is the human-readable name shown in listings and cached runs.
+	Title string
+	// Tags group experiments for frontend selection (e.g. "figures").
+	Tags []string
+	// Cost is the expected paper-scale wall time class.
+	Cost CostClass
+	// Run computes the experiment. It must be deterministic in the Spec:
+	// equal Spec fields (ignoring Jobs) must reproduce identical artifacts.
+	Run func(*Spec) (*Artifacts, error)
+}
+
+// tagged reports whether the experiment carries the tag.
+func (e *Experiment) tagged(tag string) bool {
+	for _, t := range e.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Registry holds experiments in registration order.
+type Registry struct {
+	byID  map[string]*Experiment
+	order []*Experiment
+}
+
+// Default is the package-level registry that internal/experiments
+// populates at init time and the cmd frontends select from.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry (tests use fresh instances).
+func NewRegistry() *Registry {
+	return &Registry{byID: map[string]*Experiment{}}
+}
+
+// Register adds an experiment. It panics on an empty id, a nil Run, or a
+// duplicate id — registration happens at init time, and a collision is a
+// programming error that must fail loudly, not a runtime condition.
+func (r *Registry) Register(e Experiment) {
+	if e.ID == "" {
+		panic("runner: Register with empty experiment id")
+	}
+	if e.Run == nil {
+		panic(fmt.Sprintf("runner: Register(%q) with nil Run", e.ID))
+	}
+	if _, dup := r.byID[e.ID]; dup {
+		panic(fmt.Sprintf("runner: duplicate experiment id %q", e.ID))
+	}
+	exp := e
+	r.byID[e.ID] = &exp
+	r.order = append(r.order, &exp)
+}
+
+// Lookup returns the experiment registered under id, or nil.
+func (r *Registry) Lookup(id string) *Experiment {
+	return r.byID[id]
+}
+
+// All returns every experiment in registration order.
+func (r *Registry) All() []*Experiment {
+	return append([]*Experiment(nil), r.order...)
+}
+
+// Tagged returns the experiments carrying tag, in registration order. An
+// empty tag selects everything.
+func (r *Registry) Tagged(tag string) []*Experiment {
+	if tag == "" {
+		return r.All()
+	}
+	var out []*Experiment
+	for _, e := range r.order {
+		if e.tagged(tag) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Select filters the tag's experiments by a comma-separated id list,
+// preserving registration order. An empty list selects all of them.
+// Unknown ids are an error, not a silent no-op: a typo like `-only fig4`
+// must fail loudly instead of reporting success having run nothing.
+func (r *Registry) Select(tag, only string) ([]*Experiment, error) {
+	pool := r.Tagged(tag)
+	if strings.TrimSpace(only) == "" {
+		return pool, nil
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	known := map[string]bool{}
+	var active []*Experiment
+	for _, e := range pool {
+		known[e.ID] = true
+		if want[e.ID] {
+			active = append(active, e)
+		}
+	}
+	var unknown []string
+	for id := range want {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		ids := make([]string, len(pool))
+		for i, e := range pool {
+			ids[i] = e.ID
+		}
+		return nil, fmt.Errorf("unknown figure id(s): %s\nknown ids: %s",
+			strings.Join(unknown, ", "), strings.Join(ids, ", "))
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("-only selected no figures")
+	}
+	return active, nil
+}

@@ -1,0 +1,123 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+)
+
+func noopRun(*Spec) (*Artifacts, error) { return &Artifacts{}, nil }
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		if msg := r.(string); !strings.Contains(msg, want) {
+			t.Fatalf("panic = %q, want substring %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterCollisionPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(Experiment{ID: "a", Run: noopRun})
+	mustPanic(t, `duplicate experiment id "a"`, func() {
+		reg.Register(Experiment{ID: "a", Run: noopRun})
+	})
+}
+
+func TestRegisterValidation(t *testing.T) {
+	reg := NewRegistry()
+	mustPanic(t, "empty experiment id", func() {
+		reg.Register(Experiment{Run: noopRun})
+	})
+	mustPanic(t, "nil Run", func() {
+		reg.Register(Experiment{ID: "b"})
+	})
+}
+
+func TestLookupAndOrder(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(Experiment{ID: "z", Run: noopRun, Tags: []string{"fig"}})
+	reg.Register(Experiment{ID: "a", Run: noopRun, Tags: []string{"fig"}})
+	reg.Register(Experiment{ID: "m", Run: noopRun, Tags: []string{"tool"}})
+
+	if got := reg.Lookup("a"); got == nil || got.ID != "a" {
+		t.Fatalf("Lookup(a) = %v", got)
+	}
+	if got := reg.Lookup("missing"); got != nil {
+		t.Fatalf("Lookup(missing) = %v, want nil", got)
+	}
+
+	// All and Tagged preserve registration order, not lexical order.
+	ids := func(es []*Experiment) string {
+		var out []string
+		for _, e := range es {
+			out = append(out, e.ID)
+		}
+		return strings.Join(out, ",")
+	}
+	if got := ids(reg.All()); got != "z,a,m" {
+		t.Fatalf("All order = %s, want z,a,m", got)
+	}
+	if got := ids(reg.Tagged("fig")); got != "z,a" {
+		t.Fatalf("Tagged(fig) = %s, want z,a", got)
+	}
+	if got := ids(reg.Tagged("")); got != "z,a,m" {
+		t.Fatalf("Tagged(\"\") = %s, want z,a,m", got)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	reg := NewRegistry()
+	for _, id := range []string{"fig01", "fig02", "fig03"} {
+		reg.Register(Experiment{ID: id, Run: noopRun, Tags: []string{"figures"}})
+	}
+	reg.Register(Experiment{ID: "tool1", Run: noopRun, Tags: []string{"tools"}})
+
+	// Empty -only selects the whole tag pool.
+	all, err := reg.Select("figures", "")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("Select(figures, \"\") = %d experiments, err %v", len(all), err)
+	}
+
+	// Subset selection keeps registration order regardless of list order.
+	sub, err := reg.Select("figures", " fig03 ,fig01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 2 || sub[0].ID != "fig01" || sub[1].ID != "fig03" {
+		t.Fatalf("Select subset = %v", sub)
+	}
+
+	// Unknown ids fail loudly and name the known pool.
+	_, err = reg.Select("figures", "fig01,fig99")
+	if err == nil || !strings.Contains(err.Error(), "unknown figure id(s): fig99") {
+		t.Fatalf("unknown id error = %v", err)
+	}
+	if !strings.Contains(err.Error(), "fig01, fig02, fig03") {
+		t.Fatalf("error should list known ids, got %v", err)
+	}
+
+	// An id outside the tag pool is unknown within that pool.
+	_, err = reg.Select("figures", "tool1")
+	if err == nil || !strings.Contains(err.Error(), "unknown figure id(s): tool1") {
+		t.Fatalf("cross-tag id error = %v", err)
+	}
+}
+
+func TestCostClassString(t *testing.T) {
+	for c, want := range map[CostClass]string{
+		CostCheap:     "cheap",
+		CostModerate:  "moderate",
+		CostExpensive: "expensive",
+		CostClass(9):  "CostClass(9)",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("CostClass(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}

@@ -1,0 +1,465 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"routesync/internal/parallel"
+)
+
+// Artifacts is what one experiment run hands back to the runner:
+// everything needed for the per-experiment stdout block, INDEX.md,
+// TIMINGS.json, and the manifest entry.
+type Artifacts struct {
+	// Title is the human-readable name (falls back to Experiment.Title).
+	Title string
+	// Notes are the headline findings printed under the experiment and
+	// recorded in INDEX.md and the manifest.
+	Notes []string
+	// Series and Points count the emitted data for TIMINGS.json.
+	Series int
+	Points int
+	// Files lists the names (relative to Spec.OutDir) this run wrote;
+	// empty when Spec.Write was off.
+	Files []string
+	// ASCII is the full human-readable report for tool frontends that
+	// print to stdout instead of writing files.
+	ASCII string
+}
+
+// DriverTiming is one entry of TIMINGS.json (schema unchanged from when
+// cmd/figures owned it).
+type DriverTiming struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	Series  int     `json:"series"`
+	Points  int     `json:"points"`
+}
+
+// TimingsFile is the TIMINGS.json schema: enough to track pipeline
+// speedups across PRs the way the BENCH_*.json trajectories do.
+type TimingsFile struct {
+	Quick        bool           `json:"quick"`
+	Jobs         int            `json:"jobs"`
+	Workers      int            `json:"workers"`
+	TotalSeconds float64        `json:"total_seconds"`
+	Drivers      []DriverTiming `json:"drivers"`
+}
+
+// Options parameterize one runner invocation.
+type Options struct {
+	// Registry to select from; nil means Default.
+	Registry *Registry
+	// Tag restricts the candidate pool (e.g. "figures"); "" means all.
+	Tag string
+	// Only is the comma-separated -only id filter within the pool;
+	// unknown ids are an error. Ignored when IDs is set.
+	Only string
+	// IDs selects exactly these experiments in the given order (tool
+	// frontends); unknown ids are an error.
+	IDs []string
+	// OutDir receives emitted files, INDEX.md, TIMINGS.json, and
+	// MANIFEST.json when Write is set.
+	OutDir string
+	// Quick, Jobs, Seed, and Overrides flow into each experiment's Spec.
+	Quick     bool
+	Jobs      int
+	Seed      int64
+	Overrides any
+	// Write turns on file emission plus the index/timings/manifest
+	// bookkeeping. Tool frontends leave it off and print Artifacts.ASCII.
+	Write bool
+	// Force disables the incremental skip: every selected experiment
+	// re-runs even if its manifest entry is up to date.
+	Force bool
+	// Stdout, when non-nil, receives the per-experiment progress blocks
+	// (`== id (title, 123ms)` plus notes) in registration order.
+	Stdout io.Writer
+	// Errout receives per-experiment failures as they are observed; nil
+	// means os.Stderr. The run continues past failures (matching the old
+	// cmd/figures behavior) but reports them in Run's error.
+	Errout io.Writer
+	// Progress, when non-nil, receives live one-line status updates for
+	// in-flight experiments (engine observer counts). Intended for a
+	// terminal's stderr; keep it off when stderr is redirected.
+	Progress io.Writer
+	// ProgressEvery overrides the progress line interval (default 1s).
+	ProgressEvery time.Duration
+}
+
+// Summary reports what one invocation did.
+type Summary struct {
+	// Experiments holds the selected experiments in emission order.
+	Experiments []*Experiment
+	// Artifacts holds each experiment's artifacts, parallel to
+	// Experiments. Cached experiments get artifacts reconstructed from
+	// the manifest (Notes/Series/Points/Files; no ASCII).
+	Artifacts []*Artifacts
+	// Cached counts experiments skipped as up to date.
+	Cached int
+	// Failed counts experiments whose Run returned an error.
+	Failed int
+	// Partial reports whether the selection was a subset of the pool (a
+	// partial run never rewrites INDEX.md or TIMINGS.json).
+	Partial bool
+	// Total is the invocation's wall time; Workers the worker bound.
+	Total   time.Duration
+	Workers int
+}
+
+// expRun is what one worker hands back to the in-order consumer.
+type expRun struct {
+	art     *Artifacts
+	entry   *ManifestEntry
+	err     error
+	cached  bool
+	seconds float64
+}
+
+// Run executes the selected experiments on at most Jobs workers, in
+// registration order for selection and emission, with per-experiment
+// incremental skipping against OutDir's manifest when Write is set.
+//
+// Output files, stdout blocks, and INDEX.md are byte-identical for any
+// Jobs value; a full non-quick run additionally rewrites TIMINGS.json
+// and the manifest. Returns the summary and an error if any experiment
+// failed or the bookkeeping writes failed.
+func Run(opts Options) (*Summary, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = Default
+	}
+	errout := opts.Errout
+	if errout == nil {
+		errout = os.Stderr
+	}
+
+	pool := reg.Tagged(opts.Tag)
+	var active []*Experiment
+	if len(opts.IDs) > 0 {
+		for _, id := range opts.IDs {
+			e := reg.Lookup(id)
+			if e == nil {
+				return nil, unknownIDs(pool, opts.IDs)
+			}
+			active = append(active, e)
+		}
+	} else {
+		var err error
+		active, err = reg.Select(opts.Tag, opts.Only)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sum := &Summary{
+		Experiments: active,
+		Partial:     len(active) != len(pool),
+		Workers:     parallel.Workers(opts.Jobs),
+	}
+
+	// The manifest loaded here is read-only for the duration of the run:
+	// workers consult it for skip decisions while the consumer
+	// accumulates fresh entries separately, then the two are merged.
+	var manifest *Manifest
+	if opts.Write {
+		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+			return sum, err
+		}
+		manifest = LoadManifest(opts.OutDir)
+	}
+	codeVersion := CodeVersion()
+
+	shared := newSharedCache()
+	inflight := newProgressBoard(opts, active)
+	defer inflight.stop()
+
+	var index strings.Builder
+	index.WriteString("# Regenerated figures\n\n")
+	var perDriver []DriverTiming
+	updates := map[string]*ManifestEntry{}
+
+	t0 := time.Now()
+	parallel.RunOrdered(len(active), opts.Jobs, func(i int) expRun {
+		e := active[i]
+		paramsHash := ParamsHash(e.ID, opts.Quick, opts.Seed, opts.Overrides)
+		if opts.Write && !opts.Force {
+			if old := manifest.Experiments[e.ID]; old.UpToDate(opts.OutDir, paramsHash, codeVersion) {
+				return expRun{art: old.artifacts(), entry: old, cached: true}
+			}
+		}
+		spec := &Spec{
+			ID:        e.ID,
+			Quick:     opts.Quick,
+			Seed:      opts.Seed,
+			Jobs:      opts.Jobs,
+			OutDir:    opts.OutDir,
+			Write:     opts.Write,
+			Overrides: opts.Overrides,
+			Metrics:   &Metrics{},
+			shared:    shared,
+		}
+		inflight.start(e.ID, spec.Metrics)
+		start := time.Now()
+		art, err := e.Run(spec)
+		seconds := time.Since(start).Seconds()
+		inflight.finish(e.ID)
+		if err != nil {
+			return expRun{err: fmt.Errorf("%s: %w", e.ID, err), seconds: seconds}
+		}
+		if art.Title == "" {
+			art.Title = e.Title
+		}
+		run := expRun{art: art, seconds: seconds}
+		if opts.Write {
+			entry := &ManifestEntry{
+				Title:       art.Title,
+				ParamsHash:  paramsHash,
+				CodeVersion: codeVersion,
+				Seed:        opts.Seed,
+				Quick:       opts.Quick,
+				WallSeconds: seconds,
+				Series:      art.Series,
+				Points:      art.Points,
+				Notes:       art.Notes,
+				Files:       map[string]string{},
+				Metrics:     spec.Metrics.Snapshot(),
+			}
+			for _, name := range art.Files {
+				h, herr := HashFile(filepath.Join(opts.OutDir, name))
+				if herr != nil {
+					return expRun{err: fmt.Errorf("%s: %w", e.ID, herr), seconds: seconds}
+				}
+				entry.Files[name] = h
+			}
+			run.entry = entry
+		}
+		return run
+	}, func(i int, run expRun) {
+		e := active[i]
+		if run.err != nil {
+			fmt.Fprintln(errout, run.err)
+			sum.Failed++
+			sum.Artifacts = append(sum.Artifacts, nil)
+			return
+		}
+		art := run.art
+		sum.Artifacts = append(sum.Artifacts, art)
+		seconds := run.seconds
+		if run.cached {
+			sum.Cached++
+			seconds = run.entry.WallSeconds
+			if opts.Stdout != nil {
+				fmt.Fprintf(opts.Stdout, "== %s (%s, cached)\n", e.ID, art.Title)
+			}
+		} else if opts.Stdout != nil {
+			fmt.Fprintf(opts.Stdout, "== %s (%s, %v)\n", e.ID, art.Title,
+				time.Duration(run.seconds*float64(time.Second)).Round(time.Millisecond))
+		}
+		if opts.Stdout != nil {
+			for _, n := range art.Notes {
+				fmt.Fprintln(opts.Stdout, "   ", n)
+			}
+		}
+		if run.entry != nil {
+			updates[e.ID] = run.entry
+		}
+		perDriver = append(perDriver, DriverTiming{
+			ID: e.ID, Title: art.Title, Seconds: seconds,
+			Series: art.Series, Points: art.Points,
+		})
+		fmt.Fprintf(&index, "## %s — %s\n\n", e.ID, art.Title)
+		for _, n := range art.Notes {
+			fmt.Fprintf(&index, "- %s\n", n)
+		}
+		fmt.Fprintf(&index, "- files: [`%s.csv`](%s.csv), [`%s.txt`](%s.txt)\n\n", e.ID, e.ID, e.ID, e.ID)
+	})
+	sum.Total = time.Since(t0)
+	inflight.stop()
+
+	if sum.Failed > 0 {
+		return sum, fmt.Errorf("%d of %d experiments failed", sum.Failed, len(active))
+	}
+
+	if opts.Write {
+		// A partial -only run must not clobber the full-run index or the
+		// full-run timing trajectory, but its manifest entries are still
+		// merged in — that is what makes iterating on one figure cheap.
+		if !sum.Partial {
+			if err := os.WriteFile(filepath.Join(opts.OutDir, "INDEX.md"), []byte(index.String()), 0o644); err != nil {
+				return sum, err
+			}
+			tf := TimingsFile{
+				Quick:        opts.Quick,
+				Jobs:         opts.Jobs,
+				Workers:      sum.Workers,
+				TotalSeconds: sum.Total.Seconds(),
+				Drivers:      perDriver,
+			}
+			if err := writeJSON(filepath.Join(opts.OutDir, "TIMINGS.json"), tf); err != nil {
+				return sum, err
+			}
+		}
+		for id, entry := range updates {
+			manifest.Experiments[id] = entry
+		}
+		if err := manifest.Write(opts.OutDir); err != nil {
+			return sum, err
+		}
+	}
+	return sum, nil
+}
+
+// artifacts reconstructs displayable artifacts from a manifest entry so
+// a cached experiment still contributes to stdout, INDEX.md, and
+// TIMINGS.json.
+func (e *ManifestEntry) artifacts() *Artifacts {
+	files := make([]string, 0, len(e.Files))
+	for name := range e.Files {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	return &Artifacts{
+		Title:  e.Title,
+		Notes:  e.Notes,
+		Series: e.Series,
+		Points: e.Points,
+		Files:  files,
+	}
+}
+
+// unknownIDs builds the standard unknown-id error for an explicit IDs
+// selection, mirroring Select's wording.
+func unknownIDs(pool []*Experiment, ids []string) error {
+	known := map[string]bool{}
+	poolIDs := make([]string, len(pool))
+	for i, e := range pool {
+		known[e.ID] = true
+		poolIDs[i] = e.ID
+	}
+	var unknown []string
+	for _, id := range ids {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	sort.Strings(unknown)
+	return fmt.Errorf("unknown figure id(s): %s\nknown ids: %s",
+		strings.Join(unknown, ", "), strings.Join(poolIDs, ", "))
+}
+
+// progressBoard tracks in-flight experiments and, when enabled, prints a
+// one-line status every interval from a background goroutine. All engine
+// metric reads are atomic, so the goroutine never blocks a simulation.
+type progressBoard struct {
+	w        io.Writer
+	interval time.Duration
+	order    []string
+
+	mu       sync.Mutex
+	inflight map[string]*Metrics
+	stopping chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+func newProgressBoard(opts Options, active []*Experiment) *progressBoard {
+	b := &progressBoard{
+		w:        opts.Progress,
+		interval: opts.ProgressEvery,
+		inflight: map[string]*Metrics{},
+		stopping: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, e := range active {
+		b.order = append(b.order, e.ID)
+	}
+	if b.interval <= 0 {
+		b.interval = time.Second
+	}
+	if b.w != nil {
+		go b.loop()
+	} else {
+		close(b.done)
+	}
+	return b
+}
+
+func (b *progressBoard) start(id string, m *Metrics) {
+	if b.w == nil {
+		return
+	}
+	b.mu.Lock()
+	b.inflight[id] = m
+	b.mu.Unlock()
+}
+
+func (b *progressBoard) finish(id string) {
+	if b.w == nil {
+		return
+	}
+	b.mu.Lock()
+	delete(b.inflight, id)
+	b.mu.Unlock()
+}
+
+func (b *progressBoard) stop() {
+	b.stopOnce.Do(func() { close(b.stopping) })
+	<-b.done
+}
+
+func (b *progressBoard) loop() {
+	defer close(b.done)
+	tick := time.NewTicker(b.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.stopping:
+			return
+		case <-tick.C:
+			if line := b.render(); line != "" {
+				fmt.Fprintln(b.w, line)
+			}
+		}
+	}
+}
+
+// render lists in-flight experiments in registration order with their
+// live observer counts.
+func (b *progressBoard) render() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.inflight) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, id := range b.order {
+		m, ok := b.inflight[id]
+		if !ok {
+			continue
+		}
+		if p := m.progress(); p != "" {
+			parts = append(parts, fmt.Sprintf("%s: %s", id, p))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s: running", id))
+		}
+	}
+	return "  … " + strings.Join(parts, " | ")
+}
+
+// writeJSON marshals v with two-space indentation and a trailing newline.
+func writeJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -1,0 +1,202 @@
+// Package smoke exercises the five command-line frontends end to end:
+// each test execs a freshly built binary and checks exit codes, stdout
+// shape, and the incremental-manifest contract that the frontends share
+// through internal/runner. These are the tests that would catch a flag
+// wiring regression no unit test sees.
+package smoke
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binDir holds the five binaries TestMain builds.
+var binDir string
+
+var commands = []string{"figures", "syncsim", "markovtool", "netexp", "scenarios"}
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "smoke-bin-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smoke:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binDir = dir
+	for _, name := range commands {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, name), "./cmd/"+name)
+		cmd.Dir = "../.." // module root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "smoke: build %s: %v\n%s", name, err, out)
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+// run execs a built binary and returns stdout, stderr, and the exit code.
+func run(t *testing.T, name string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%s %v: %v", name, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+func TestFiguresQuickIncremental(t *testing.T) {
+	out := t.TempDir()
+
+	// A fresh quick run regenerates everything and writes the bookkeeping.
+	stdout, stderr, code := run(t, "figures", "-out", out, "-quick")
+	if code != 0 {
+		t.Fatalf("figures exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "== fig01 (") || !strings.Contains(stdout, "wrote 33 figures") {
+		t.Fatalf("figures stdout = %q", stdout)
+	}
+	if strings.Contains(stdout, "cached") {
+		t.Fatal("fresh run claimed cached results")
+	}
+	for _, f := range []string{"INDEX.md", "TIMINGS.json", "MANIFEST.json", "fig04.csv", "fig04.txt"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Errorf("missing %s after full run: %v", f, err)
+		}
+	}
+
+	// The second identical invocation skips every experiment.
+	stdout, stderr, code = run(t, "figures", "-out", out, "-quick")
+	if code != 0 {
+		t.Fatalf("second figures exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "== fig01 (") || !strings.Contains(stdout, "33 cached") {
+		t.Fatalf("second run should cache all 33, stdout = %q", stdout)
+	}
+
+	// -force -only re-runs exactly the selection, leaving the index alone.
+	index0, err := os.ReadFile(filepath.Join(out, "INDEX.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code = run(t, "figures", "-out", out, "-quick", "-force", "-only", "fig04")
+	if code != 0 {
+		t.Fatalf("forced partial exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "== fig04 (") || strings.Contains(stdout, "cached") {
+		t.Fatalf("forced partial stdout = %q", stdout)
+	}
+	index1, _ := os.ReadFile(filepath.Join(out, "INDEX.md"))
+	if !bytes.Equal(index0, index1) {
+		t.Fatal("partial run rewrote INDEX.md")
+	}
+
+	// Scale change (quick → paper) must invalidate the cache, not reuse it.
+	stdout, _, code = run(t, "figures", "-out", out, "-quick=false", "-only", "fig04")
+	if code != 0 || strings.Contains(stdout, "cached") {
+		t.Fatalf("scale change reused cache: exit %d stdout = %q", code, stdout)
+	}
+}
+
+func TestFiguresUnknownOnly(t *testing.T) {
+	_, stderr, code := run(t, "figures", "-out", t.TempDir(), "-quick", "-only", "fig99")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown figure id(s): fig99") || !strings.Contains(stderr, "known ids:") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestSyncsimStartValidation(t *testing.T) {
+	_, stderr, code := run(t, "syncsim", "-start", "synced")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown -start "synced" (allowed: unsync, sync)`) {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestSyncsimRun(t *testing.T) {
+	stdout, stderr, code := run(t, "syncsim", "-n", "5", "-horizon", "1e4", "-analyze=false")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "parameters: N=5") || !strings.Contains(stdout, "cluster events processed") {
+		t.Fatalf("stdout = %q", stdout)
+	}
+}
+
+func TestMarkovtoolSweepValidation(t *testing.T) {
+	_, stderr, code := run(t, "markovtool", "-sweep", "bogus")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown sweep "bogus" (allowed: '', threshold, tr, n)`) {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestMarkovtoolTable(t *testing.T) {
+	stdout, stderr, code := run(t, "markovtool")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Markov") && !strings.Contains(stdout, "f(") {
+		t.Fatalf("stdout = %q", stdout)
+	}
+}
+
+func TestNetexpScenarioValidation(t *testing.T) {
+	_, stderr, code := run(t, "netexp", "-scenario", "video")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown scenario "video" (allowed: ping, audio)`) {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestNetexpPing(t *testing.T) {
+	stdout, stderr, code := run(t, "netexp", "-scenario", "ping", "-pings", "40", "-routes", "50", "-plot=false")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "ping") {
+		t.Fatalf("stdout = %q", stdout)
+	}
+}
+
+func TestScenariosWhichValidation(t *testing.T) {
+	_, stderr, code := run(t, "scenarios", "-which", "nfs")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, `unknown -which "nfs" (allowed: tcp, clientserver, clock, all)`) {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestScenariosTCP(t *testing.T) {
+	stdout, stderr, code := run(t, "scenarios", "-which", "tcp", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	if stdout == "" {
+		t.Fatal("empty stdout")
+	}
+}
