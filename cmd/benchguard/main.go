@@ -1,13 +1,15 @@
 // Command benchguard compares `go test -bench` output on stdin against a
 // committed BENCH_*.json baseline and fails when any matching benchmark
-// allocates more per op than the baseline recorded. It guards the
-// allocation discipline of the hot paths — the des kernel's 0 allocs/op
-// steady state and the periodic engine's fixed footprint — in CI, where
-// ns/op is too noisy to gate on but allocs/op is exact.
+// allocates more per op than the baseline recorded, or runs slower than
+// the baseline ns/op by more than a configurable tolerance. allocs/op is
+// exact and gated strictly; ns/op is noisy in CI, so the time gate only
+// trips on regressions past -tolerance (default 25%) — wide enough to
+// ride out scheduler jitter, tight enough to catch a hot path falling
+// off its complexity class.
 //
 // Usage:
 //
-//	go test -bench . -benchtime 100x ./internal/bench/ | benchguard -baseline out/BENCH_0002.json
+//	go test -bench . -benchtime 100x ./internal/bench/ | benchguard -baseline out/BENCH_0004.json
 //
 // Benchmark names are normalized (the "Benchmark" prefix and the
 // "-<GOMAXPROCS>" suffix are stripped) and compared by intersection with
@@ -31,15 +33,22 @@ import (
 // baselineFile is the subset of the BENCH_*.json schema the guard needs.
 type baselineFile struct {
 	Benchmarks []struct {
-		Name        string `json:"name"`
-		AllocsPerOp int64  `json:"allocs_per_op"`
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
 	} `json:"benchmarks"`
+}
+
+// measurement is one parsed benchmark line.
+type measurement struct {
+	nsPerOp     float64
+	allocsPerOp int64
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
 //	BenchmarkDESScheduleStep-8   15734137   71.20 ns/op   0 B/op   0 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?(\d+)\s+allocs/op`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op.*?(\d+)\s+allocs/op`)
 
 // gomaxprocsSuffix is the trailing "-<digits>" go test appends to names.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -51,26 +60,31 @@ func normalize(name string) string {
 	return gomaxprocsSuffix.ReplaceAllString(name, "")
 }
 
-// parseBenchOutput extracts normalized name → allocs/op from `go test
-// -bench` output. Non-benchmark lines (PASS, ok, goos) are ignored.
-func parseBenchOutput(r io.Reader) (map[string]int64, error) {
-	out := map[string]int64{}
+// parseBenchOutput extracts normalized name → (ns/op, allocs/op) from
+// `go test -bench` output. Non-benchmark lines (PASS, ok, goos) are
+// ignored.
+func parseBenchOutput(r io.Reader) (map[string]measurement, error) {
+	out := map[string]measurement{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
 			continue
 		}
-		allocs, err := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		allocs, err := strconv.ParseInt(m[3], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
 		}
-		out[normalize(m[1])] = allocs
+		out[normalize(m[1])] = measurement{nsPerOp: ns, allocsPerOp: allocs}
 	}
 	return out, sc.Err()
 }
 
-func run(baselinePath string, stdin io.Reader, stdout, stderr io.Writer) int {
+func run(baselinePath string, tolerance float64, stdin io.Reader, stdout, stderr io.Writer) int {
 	buf, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchguard:", err)
@@ -95,27 +109,34 @@ func run(baselinePath string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		matches++
 		status := "ok"
-		if got > b.AllocsPerOp {
-			status = "REGRESSION"
+		if got.allocsPerOp > b.AllocsPerOp {
+			status = "REGRESSION(allocs)"
+			regressions++
+		} else if b.NsPerOp > 0 && got.nsPerOp > b.NsPerOp*(1+tolerance) {
+			// A baseline recorded before the time gate existed carries
+			// ns_per_op 0; skip the time comparison rather than flag it.
+			status = "REGRESSION(ns)"
 			regressions++
 		}
-		fmt.Fprintf(stdout, "%-30s baseline %3d allocs/op, measured %3d  %s\n",
-			b.Name, b.AllocsPerOp, got, status)
+		fmt.Fprintf(stdout, "%-42s baseline %3d allocs/op %10.1f ns/op, measured %3d allocs/op %10.1f ns/op  %s\n",
+			b.Name, b.AllocsPerOp, b.NsPerOp, got.allocsPerOp, got.nsPerOp, status)
 	}
 	if matches == 0 {
 		fmt.Fprintf(stderr, "benchguard: no benchmark in the input matched the baseline %s — name drift?\n", baselinePath)
 		return 1
 	}
 	if regressions > 0 {
-		fmt.Fprintf(stderr, "benchguard: %d of %d benchmarks regressed allocs/op\n", regressions, matches)
+		fmt.Fprintf(stderr, "benchguard: %d of %d benchmarks regressed (allocs/op strict, ns/op tolerance %.0f%%)\n",
+			regressions, matches, tolerance*100)
 		return 1
 	}
-	fmt.Fprintf(stdout, "benchguard: %d benchmarks within baseline\n", matches)
+	fmt.Fprintf(stdout, "benchguard: %d benchmarks within baseline (ns/op tolerance %.0f%%)\n", matches, tolerance*100)
 	return 0
 }
 
 func main() {
-	baseline := flag.String("baseline", "out/BENCH_0002.json", "committed BENCH_*.json to guard against")
+	baseline := flag.String("baseline", "out/BENCH_0004.json", "committed BENCH_*.json to guard against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing")
 	flag.Parse()
-	os.Exit(run(*baseline, os.Stdin, os.Stdout, os.Stderr))
+	os.Exit(run(*baseline, *tolerance, os.Stdin, os.Stdout, os.Stderr))
 }

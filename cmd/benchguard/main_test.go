@@ -38,18 +38,18 @@ func TestParseBenchOutput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]int64{
-		"DESScheduleStep":   0,
-		"DESScheduleCancel": 0,
-		"PeriodicStep/N=20": 2,
-		"NewInThisPR":       9,
+	want := map[string]measurement{
+		"DESScheduleStep":   {nsPerOp: 71.20, allocsPerOp: 0},
+		"DESScheduleCancel": {nsPerOp: 12.45, allocsPerOp: 0},
+		"PeriodicStep/N=20": {nsPerOp: 94.42, allocsPerOp: 2},
+		"NewInThisPR":       {nsPerOp: 1000, allocsPerOp: 9},
 	}
 	if len(m) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(m), len(want), m)
 	}
-	for name, allocs := range want {
-		if m[name] != allocs {
-			t.Errorf("%s = %d allocs/op, want %d", name, m[name], allocs)
+	for name, meas := range want {
+		if m[name] != meas {
+			t.Errorf("%s = %+v, want %+v", name, m[name], meas)
 		}
 	}
 }
@@ -65,16 +65,18 @@ func writeBaseline(t *testing.T, body string) string {
 
 const baselineJSON = `{
   "benchmarks": [
-    {"name": "DESScheduleStep", "allocs_per_op": 0},
-    {"name": "DESScheduleCancel", "allocs_per_op": 0},
-    {"name": "PeriodicStep/N=20", "allocs_per_op": 2},
-    {"name": "OnlyInBaseline", "allocs_per_op": 0}
+    {"name": "DESScheduleStep", "ns_per_op": 70.0, "allocs_per_op": 0},
+    {"name": "DESScheduleCancel", "ns_per_op": 12.0, "allocs_per_op": 0},
+    {"name": "PeriodicStep/N=20", "ns_per_op": 90.0, "allocs_per_op": 2},
+    {"name": "OnlyInBaseline", "ns_per_op": 1.0, "allocs_per_op": 0}
   ]
 }`
 
 func TestGuardPasses(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := run(writeBaseline(t, baselineJSON), strings.NewReader(sampleBenchOutput), &out, &errb)
+	// The sample runs a few percent over each ns/op baseline — inside the
+	// default tolerance.
+	code := run(writeBaseline(t, baselineJSON), 0.25, strings.NewReader(sampleBenchOutput), &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr %q", code, errb.String())
 	}
@@ -84,16 +86,16 @@ func TestGuardPasses(t *testing.T) {
 	}
 }
 
-func TestGuardCatchesRegression(t *testing.T) {
+func TestGuardCatchesAllocRegression(t *testing.T) {
 	regressed := strings.Replace(sampleBenchOutput,
 		"BenchmarkDESScheduleStep-8     	15734137	        71.20 ns/op	       0 B/op	       0 allocs/op",
 		"BenchmarkDESScheduleStep-8     	15734137	        71.20 ns/op	      16 B/op	       1 allocs/op", 1)
 	var out, errb bytes.Buffer
-	code := run(writeBaseline(t, baselineJSON), strings.NewReader(regressed), &out, &errb)
+	code := run(writeBaseline(t, baselineJSON), 0.25, strings.NewReader(regressed), &out, &errb)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
-	if !strings.Contains(out.String(), "DESScheduleStep") || !strings.Contains(out.String(), "REGRESSION") {
+	if !strings.Contains(out.String(), "DESScheduleStep") || !strings.Contains(out.String(), "REGRESSION(allocs)") {
 		t.Fatalf("stdout = %q", out.String())
 	}
 	if !strings.Contains(errb.String(), "1 of 3 benchmarks regressed") {
@@ -101,10 +103,42 @@ func TestGuardCatchesRegression(t *testing.T) {
 	}
 }
 
+func TestGuardCatchesTimeRegression(t *testing.T) {
+	// 71.20 → 120 ns/op against a 70.0 baseline: 71% over, past the 25%
+	// tolerance; allocs unchanged.
+	regressed := strings.Replace(sampleBenchOutput,
+		"        71.20 ns/op	       0 B/op	       0 allocs/op",
+		"        120.00 ns/op	       0 B/op	       0 allocs/op", 1)
+	var out, errb bytes.Buffer
+	code := run(writeBaseline(t, baselineJSON), 0.25, strings.NewReader(regressed), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout %q", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION(ns)") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+	// A wider tolerance must accept the same measurement.
+	out.Reset()
+	errb.Reset()
+	if code := run(writeBaseline(t, baselineJSON), 1.0, strings.NewReader(regressed), &out, &errb); code != 0 {
+		t.Fatalf("tolerance 1.0: exit %d, stderr %q", code, errb.String())
+	}
+}
+
+func TestGuardSkipsTimeGateOnZeroBaseline(t *testing.T) {
+	// Baselines written before the time gate carry ns_per_op 0 — the guard
+	// must not treat every measurement as infinitely regressed.
+	base := `{"benchmarks": [{"name": "DESScheduleStep", "allocs_per_op": 0}]}`
+	var out, errb bytes.Buffer
+	if code := run(writeBaseline(t, base), 0.25, strings.NewReader(sampleBenchOutput), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+}
+
 func TestGuardRejectsEmptyIntersection(t *testing.T) {
 	var out, errb bytes.Buffer
 	code := run(writeBaseline(t, `{"benchmarks": [{"name": "Unrelated", "allocs_per_op": 0}]}`),
-		strings.NewReader(sampleBenchOutput), &out, &errb)
+		0.25, strings.NewReader(sampleBenchOutput), &out, &errb)
 	if code != 1 || !strings.Contains(errb.String(), "no benchmark in the input matched") {
 		t.Fatalf("exit %d, stderr %q", code, errb.String())
 	}
@@ -112,7 +146,7 @@ func TestGuardRejectsEmptyIntersection(t *testing.T) {
 
 func TestGuardMissingBaseline(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run(filepath.Join(t.TempDir(), "nope.json"), strings.NewReader(""), &out, &errb); code != 1 {
+	if code := run(filepath.Join(t.TempDir(), "nope.json"), 0.25, strings.NewReader(""), &out, &errb); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
 }

@@ -9,13 +9,14 @@ import (
 	"testing"
 
 	"routesync/internal/bench"
+	"routesync/internal/des"
 	"routesync/internal/runner"
 )
 
 // benchFileName is this PR's entry in the benchmark trajectory; the
 // number advances with the PR sequence so successive snapshots sit side
 // by side in out/.
-const benchFileName = "BENCH_0002.json"
+const benchFileName = "BENCH_0004.json"
 
 // benchResult is one micro-benchmark measurement.
 type benchResult struct {
@@ -50,10 +51,16 @@ func runBench(outDir string) error {
 		{"DESScheduleCancel", bench.DESScheduleCancel},
 		{"DESTicker", bench.DESTicker},
 		{"TickerStorm", bench.TickerStorm},
+		{"DESScheduleFire/backend=heap/depth=1000", func(b *testing.B) { bench.DESScheduleFire(b, des.BackendHeap, 1000) }},
+		{"DESScheduleFire/backend=calendar/depth=1000", func(b *testing.B) { bench.DESScheduleFire(b, des.BackendCalendar, 1000) }},
+		{"DESScheduleFire/backend=heap/depth=100000", func(b *testing.B) { bench.DESScheduleFire(b, des.BackendHeap, 100000) }},
+		{"DESScheduleFire/backend=calendar/depth=100000", func(b *testing.B) { bench.DESScheduleFire(b, des.BackendCalendar, 100000) }},
 		{"PeriodicStep/N=20", func(b *testing.B) { bench.PeriodicStep(b, 20) }},
 		{"PeriodicStep/N=100", func(b *testing.B) { bench.PeriodicStep(b, 100) }},
 		{"PeriodicStep/N=1000", func(b *testing.B) { bench.PeriodicStep(b, 1000) }},
 		{"PeriodicStepObserved/N=100", func(b *testing.B) { bench.PeriodicStepObserved(b, 100) }},
+		{"PeriodicStepLargeN/N=10000", func(b *testing.B) { bench.PeriodicStepLargeN(b, 10000) }},
+		{"PeriodicStepLargeN/N=100000", func(b *testing.B) { bench.PeriodicStepLargeN(b, 100000) }},
 		{"ClusterGrow/N=20", func(b *testing.B) { bench.ClusterGrow(b, 20) }},
 		{"ClusterGrow/N=1000", func(b *testing.B) { bench.ClusterGrow(b, 1000) }},
 		{"ClusterGrowSorted/N=1000", func(b *testing.B) { bench.ClusterGrowSorted(b, 1000) }},

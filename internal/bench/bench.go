@@ -92,6 +92,31 @@ func DESScheduleStepObserved(b *testing.B) {
 	}
 }
 
+// DESScheduleFire measures the kernel's steady state — one Step plus one
+// Schedule per iteration — at a configurable pending-event depth on a
+// chosen queue backend. The prefill scatters expiries uniformly over a
+// window of mean spacing one, and each fired event is replaced by a new
+// one at a uniform offset past the horizon, so depth stays constant and
+// the queue keeps its spread. This is the backend crossover benchmark:
+// the heap pays O(log depth) per op while the calendar queue stays O(1)
+// amortized, which is the whole case for the calendar backend at
+// large-N populations.
+func DESScheduleFire(b *testing.B, backend des.Backend, depth int) {
+	sim := des.NewBackend(backend)
+	nop := func() {}
+	r := rng.New(11)
+	window := float64(depth)
+	for i := 0; i < depth; i++ {
+		sim.Schedule(des.Time(r.Uniform(0, window)), "bench", nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+		sim.Schedule(sim.Now()+des.Time(r.Uniform(0, window)), "bench", nop)
+	}
+}
+
 // DESTicker measures one ticker firing: the kernel pops the tick event
 // and the ticker re-arms. The hoisted fire closure keeps the re-arm from
 // allocating a fresh func every period.
@@ -150,6 +175,22 @@ func PeriodicStep(b *testing.B, n int) {
 func PeriodicStepObserved(b *testing.B, n int) {
 	cfg := PeriodicBenchConfig(n)
 	cfg.Observer = &benchObserver{}
+	sys := periodic.New(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step()
+	}
+}
+
+// PeriodicStepLargeN is PeriodicStep at populations past the EngineAuto
+// threshold, where the structure-of-arrays bucket engine takes over: one
+// cluster firing at N = 10k–100k, still 0 allocs/op in steady state.
+// The engine is pinned explicitly so the benchmark keeps measuring the
+// bucket path even if the auto threshold moves.
+func PeriodicStepLargeN(b *testing.B, n int) {
+	cfg := PeriodicBenchConfig(n)
+	cfg.Engine = periodic.EngineBucket
 	sys := periodic.New(cfg)
 	b.ReportAllocs()
 	b.ResetTimer()

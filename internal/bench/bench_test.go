@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"testing"
+
+	"routesync/internal/des"
 )
 
 // Wrappers exposing the shared benchmark bodies to `go test -bench`.
@@ -12,7 +14,17 @@ func BenchmarkDESScheduleStep(b *testing.B)         { DESScheduleStep(b) }
 func BenchmarkDESScheduleStepObserved(b *testing.B) { DESScheduleStepObserved(b) }
 func BenchmarkDESScheduleCancel(b *testing.B)       { DESScheduleCancel(b) }
 func BenchmarkDESTicker(b *testing.B)               { DESTicker(b) }
-func BenchmarkTickerStorm(b *testing.B)             { TickerStorm(b) }
+
+func BenchmarkDESScheduleFire(b *testing.B) {
+	for _, backend := range []des.Backend{des.BackendHeap, des.BackendCalendar} {
+		for _, depth := range []int{1000, 100000} {
+			b.Run(fmt.Sprintf("backend=%s/depth=%d", backend, depth), func(b *testing.B) {
+				DESScheduleFire(b, backend, depth)
+			})
+		}
+	}
+}
+func BenchmarkTickerStorm(b *testing.B) { TickerStorm(b) }
 
 func BenchmarkPeriodicStep(b *testing.B) {
 	for _, n := range []int{20, 100, 1000} {
@@ -23,6 +35,12 @@ func BenchmarkPeriodicStep(b *testing.B) {
 func BenchmarkPeriodicStepObserved(b *testing.B) {
 	for _, n := range []int{20, 100, 1000} {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { PeriodicStepObserved(b, n) })
+	}
+}
+
+func BenchmarkPeriodicStepLargeN(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { PeriodicStepLargeN(b, n) })
 	}
 }
 

@@ -11,6 +11,11 @@ package cluster
 
 import "sort"
 
+// bucketSortMinLen is the input size at which SortMembers switches from
+// comparison sorting to the linear-time bucket path. Below it the
+// constant factors of bucketing lose to sort.Slice.
+const bucketSortMinLen = 2048
+
 // Member pairs a router id with its timer-expiry time.
 type Member struct {
 	ID     int
@@ -85,14 +90,101 @@ func GrowSorted(sorted []Member, tc float64) Cluster {
 }
 
 // SortMembers orders members in place by (Expiry, ID) ascending — the model's
-// deterministic firing order.
+// deterministic firing order. Large inputs take a linear-time
+// range-partitioned bucket sort (the large-N engine and LargestPending
+// sort full router populations every query); small or degenerate inputs
+// take a comparison sort. Both paths produce the identical total order,
+// so the choice is invisible to callers.
 func SortMembers(ms []Member) {
+	if len(ms) >= bucketSortMinLen && bucketSort(ms) {
+		return
+	}
 	sort.Slice(ms, func(i, j int) bool {
 		if ms[i].Expiry != ms[j].Expiry {
 			return ms[i].Expiry < ms[j].Expiry
 		}
 		return ms[i].ID < ms[j].ID // deterministic tie-break
 	})
+}
+
+// memberLess is the (Expiry, ID) order shared by every sort path.
+func memberLess(a, b Member) bool {
+	if a.Expiry != b.Expiry {
+		return a.Expiry < b.Expiry
+	}
+	return a.ID < b.ID
+}
+
+// bucketSort sorts ms by distributing members into len(ms) equal-width
+// expiry ranges (a counting-sort scatter), then ordering each range.
+// Because the bucket index is a monotone function of the expiry, the
+// concatenation of sorted buckets is globally sorted. Returns false —
+// input untouched — when the expiries are non-finite or span zero, where
+// range partitioning is meaningless; the caller falls back to the
+// comparison sort.
+func bucketSort(ms []Member) bool {
+	lo, hi := ms[0].Expiry, ms[0].Expiry
+	for _, m := range ms {
+		if m.Expiry-m.Expiry != 0 { // NaN or ±Inf
+			return false
+		}
+		if m.Expiry < lo {
+			lo = m.Expiry
+		}
+		if m.Expiry > hi {
+			hi = m.Expiry
+		}
+	}
+	span := hi - lo
+	if !(span > 0) {
+		return false // all expiries tie; nothing to partition by
+	}
+	nb := len(ms)
+	scale := float64(nb) / span
+	bucketOf := func(e float64) int {
+		b := int((e - lo) * scale)
+		if b >= nb {
+			b = nb - 1 // e == hi
+		}
+		return b
+	}
+	count := make([]int32, nb+1)
+	for _, m := range ms {
+		count[bucketOf(m.Expiry)+1]++
+	}
+	for b := 1; b <= nb; b++ {
+		count[b] += count[b-1]
+	}
+	pos := count[:nb]
+	tmp := make([]Member, nb)
+	for _, m := range ms {
+		b := bucketOf(m.Expiry)
+		tmp[pos[b]] = m
+		pos[b]++
+	}
+	// pos[b] now holds each bucket's end offset; walk the ranges and sort
+	// them. Average occupancy is one, so nearly every range is trivial;
+	// skewed distributions can still pile members into one range, where an
+	// insertion sort would go quadratic — hand those to sort.Slice.
+	start := 0
+	for b := 0; b < nb; b++ {
+		end := int(pos[b])
+		if n := end - start; n > 1 {
+			run := tmp[start:end]
+			if n <= 32 {
+				for i := 1; i < n; i++ {
+					for j := i; j > 0 && memberLess(run[j], run[j-1]); j-- {
+						run[j], run[j-1] = run[j-1], run[j]
+					}
+				}
+			} else {
+				sort.Slice(run, func(i, j int) bool { return memberLess(run[i], run[j]) })
+			}
+		}
+		start = end
+	}
+	copy(ms, tmp)
+	return true
 }
 
 // Partition decomposes a full set of expiries into consecutive clusters by

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -222,5 +224,97 @@ func BenchmarkGrow20(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Grow(members, 0.11)
+	}
+}
+
+// TestBucketSortMatchesComparison cross-checks the large-input bucket
+// path of SortMembers against the comparison sort on adversarial expiry
+// distributions: uniform, heavy exact ties, skew (most mass in one
+// range), already sorted, reversed, and sizes straddling the path
+// threshold.
+func TestBucketSortMatchesComparison(t *testing.T) {
+	r := rng.New(11)
+	gen := map[string]func(n int) []Member{
+		"uniform": func(n int) []Member {
+			ms := make([]Member, n)
+			for i := range ms {
+				ms[i] = Member{ID: i, Expiry: r.Uniform(0, 1000)}
+			}
+			return ms
+		},
+		"ties": func(n int) []Member {
+			ms := make([]Member, n)
+			for i := range ms {
+				ms[i] = Member{ID: i, Expiry: float64(r.Intn(5))}
+			}
+			return ms
+		},
+		"skew": func(n int) []Member {
+			ms := make([]Member, n)
+			for i := range ms {
+				e := r.Uniform(0, 1) // nearly all in the lowest bucket...
+				if i == 0 {
+					e = 1e9 // ...except one far outlier stretching the range
+				}
+				ms[i] = Member{ID: i, Expiry: e}
+			}
+			return ms
+		},
+		"sorted": func(n int) []Member {
+			ms := make([]Member, n)
+			for i := range ms {
+				ms[i] = Member{ID: i, Expiry: float64(i) * 0.001}
+			}
+			return ms
+		},
+		"reversed": func(n int) []Member {
+			ms := make([]Member, n)
+			for i := range ms {
+				ms[i] = Member{ID: i, Expiry: float64(n-i) * 0.001}
+			}
+			return ms
+		},
+	}
+	for name, g := range gen {
+		for _, n := range []int{bucketSortMinLen - 1, bucketSortMinLen, 3 * bucketSortMinLen} {
+			ms := g(n)
+			want := append([]Member(nil), ms...)
+			sort.Slice(want, func(i, j int) bool { return memberLess(want[i], want[j]) })
+			SortMembers(ms)
+			for i := range ms {
+				if ms[i] != want[i] {
+					t.Fatalf("%s/n=%d: index %d = %+v, want %+v", name, n, i, ms[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBucketSortDegenerate checks the fallbacks: all-equal expiries and
+// non-finite values must still come out fully sorted by (Expiry, ID).
+func TestBucketSortDegenerate(t *testing.T) {
+	n := bucketSortMinLen
+	allEqual := make([]Member, n)
+	for i := range allEqual {
+		allEqual[i] = Member{ID: n - i, Expiry: 7}
+	}
+	SortMembers(allEqual)
+	for i := range allEqual {
+		if allEqual[i].ID != i+1 {
+			t.Fatalf("all-equal: index %d has ID %d", i, allEqual[i].ID)
+		}
+	}
+
+	withInf := make([]Member, n)
+	for i := range withInf {
+		withInf[i] = Member{ID: i, Expiry: float64(n - i)}
+	}
+	withInf[3].Expiry = math.Inf(1)
+	withInf[5].Expiry = math.Inf(-1)
+	SortMembers(withInf)
+	for i := 1; i < n; i++ {
+		if memberLess(withInf[i], withInf[i-1]) {
+			t.Fatalf("with-inf: out of order at %d: %+v after %+v", i, withInf[i], withInf[i-1])
+		}
 	}
 }

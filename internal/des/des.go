@@ -1,6 +1,9 @@
 // Package des provides a deterministic discrete-event simulation kernel:
-// a simulation clock, a binary-heap event queue with stable FIFO
-// tie-breaking, and cancellable timers.
+// a simulation clock, an event queue with stable FIFO tie-breaking, and
+// cancellable timers. Two queue backends are available — an indexed
+// binary heap (the default and reference) and a Brown-style calendar
+// queue for deep queues — selected per Simulator or via the
+// ROUTESYNC_DES_BACKEND environment variable; see Backend.
 //
 // Every simulator in this repository — the Periodic Messages model in
 // internal/periodic and the packet-level network simulator in
@@ -37,12 +40,13 @@ type Event struct {
 
 // event is the pooled storage behind an Event handle.
 type event struct {
-	at    Time
-	seq   uint64 // insertion order; breaks ties deterministically
-	gen   uint32 // bumped on release; stale handles mismatch
-	index int32  // heap index, -1 when not queued
-	fn    func()
-	label string
+	at     Time
+	seq    uint64 // insertion order; breaks ties deterministically
+	gen    uint32 // bumped on release; stale handles mismatch
+	index  int32  // heap index or position within bucket, -1 when not queued
+	bucket int32  // calendar backend: physical bucket holding the event
+	fn     func()
+	label  string
 }
 
 // live reports whether the handle still refers to a pending event.
@@ -102,8 +106,10 @@ type Observer interface {
 type Simulator struct {
 	now       Time
 	pool      []event
-	free      []int32 // recycled pool slots
-	queue     []int32 // binary min-heap of pool slots
+	free      []int32  // recycled pool slots
+	queue     []int32  // BackendHeap: binary min-heap of pool slots
+	cal       calendar // BackendCalendar state
+	backend   Backend
 	seq       uint64
 	processed uint64
 	running   bool
@@ -111,10 +117,19 @@ type Simulator struct {
 	obs       Observer
 }
 
-// New returns a Simulator with the clock at zero.
+// New returns a Simulator with the clock at zero, using DefaultBackend.
 func New() *Simulator {
-	return &Simulator{}
+	return NewBackend(DefaultBackend())
 }
+
+// NewBackend returns a Simulator with the clock at zero using the given
+// event-queue backend.
+func NewBackend(b Backend) *Simulator {
+	return &Simulator{backend: b}
+}
+
+// Backend returns the event-queue backend this Simulator runs on.
+func (s *Simulator) Backend() Backend { return s.backend }
 
 // SetObserver installs obs (nil to remove). Observation is off by default.
 func (s *Simulator) SetObserver(obs Observer) { s.obs = obs }
@@ -123,7 +138,42 @@ func (s *Simulator) SetObserver(obs Observer) { s.obs = obs }
 func (s *Simulator) Now() Time { return s.now }
 
 // Pending returns the number of queued events.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int {
+	if s.backend == BackendCalendar {
+		return s.cal.size
+	}
+	return len(s.queue)
+}
+
+// qPush queues a pooled slot on the active backend.
+func (s *Simulator) qPush(slot int32) {
+	if s.backend == BackendCalendar {
+		s.calPush(slot)
+		return
+	}
+	s.queue = append(s.queue, slot)
+	s.siftUp(len(s.queue) - 1)
+}
+
+// qPeek returns the slot of the earliest pending event, -1 when empty.
+func (s *Simulator) qPeek() int32 {
+	if s.backend == BackendCalendar {
+		return s.calPeek()
+	}
+	if len(s.queue) == 0 {
+		return -1
+	}
+	return s.queue[0]
+}
+
+// qRemove unqueues a pending slot (it stays pooled; release is separate).
+func (s *Simulator) qRemove(slot int32) {
+	if s.backend == BackendCalendar {
+		s.calRemove(slot)
+		return
+	}
+	s.removeAt(int(s.pool[slot].index))
+}
 
 // Processed returns the number of events executed so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
@@ -231,10 +281,9 @@ func (s *Simulator) Schedule(at Time, label string, fn func()) Event {
 	ev.fn = fn
 	ev.label = label
 	s.seq++
-	s.queue = append(s.queue, slot)
-	s.siftUp(len(s.queue) - 1)
+	s.qPush(slot)
 	if s.obs != nil {
-		s.obs.EventScheduled(at, len(s.queue))
+		s.obs.EventScheduled(at, s.Pending())
 	}
 	return Event{sim: s, slot: slot, gen: ev.gen}
 }
@@ -252,10 +301,10 @@ func (s *Simulator) Cancel(e Event) bool {
 		return false
 	}
 	at := ev.at
-	s.removeAt(int(ev.index))
+	s.qRemove(e.slot)
 	s.release(e.slot)
 	if s.obs != nil {
-		s.obs.EventCancelled(at, len(s.queue))
+		s.obs.EventCancelled(at, s.Pending())
 	}
 	return true
 }
@@ -263,18 +312,18 @@ func (s *Simulator) Cancel(e Event) bool {
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It returns false when the queue is empty.
 func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
+	slot := s.qPeek()
+	if slot < 0 {
 		return false
 	}
-	slot := s.queue[0]
-	s.removeAt(0)
+	s.qRemove(slot)
 	ev := &s.pool[slot]
 	s.now = ev.at
 	fn := ev.fn
 	s.release(slot)
 	s.processed++
 	if s.obs != nil {
-		s.obs.EventFired(s.now, len(s.queue))
+		s.obs.EventFired(s.now, s.Pending())
 	}
 	fn()
 	return true
@@ -298,8 +347,9 @@ func (s *Simulator) RunUntil(horizon Time) uint64 {
 	defer func() { s.running = false }()
 
 	var n uint64
-	for len(s.queue) > 0 && !s.stopped {
-		if s.pool[s.queue[0]].at > horizon {
+	for !s.stopped {
+		slot := s.qPeek()
+		if slot < 0 || s.pool[slot].at > horizon {
 			break
 		}
 		s.Step()
@@ -323,7 +373,7 @@ func (s *Simulator) RunCount(n uint64) uint64 {
 	s.stopped = false
 	defer func() { s.running = false }()
 	var done uint64
-	for done < n && len(s.queue) > 0 && !s.stopped {
+	for done < n && s.Pending() > 0 && !s.stopped {
 		s.Step()
 		done++
 	}

@@ -246,4 +246,11 @@ func registerFigures(reg *runner.Registry) {
 		}
 		return ExtTriggered(nil, horizon, 1)
 	})
+	fig(reg, "ext_largen", runner.CostExpensive, func(spec *runner.Spec) *Result {
+		ns, rounds := []int(nil), 0
+		if spec.Quick {
+			ns, rounds = []int{1000, 3162, 10000}, 12
+		}
+		return ExtLargeN(ns, rounds, 1, spec.PeriodicObserver())
+	})
 }

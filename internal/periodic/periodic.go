@@ -94,6 +94,10 @@ type Config struct {
 	// Seed drives all randomness. Two runs with equal Config replay
 	// identically.
 	Seed int64
+	// Engine selects the Step implementation. The zero value (EngineAuto)
+	// picks by N; the choice never affects results, only speed — all
+	// engines replay bit-identically.
+	Engine Engine
 	// Observer, when non-nil, is notified after every cluster firing.
 	// Unlike OnEvent callbacks it receives only scalars, so counting
 	// rounds costs no allocations. Nil (the default) costs one branch.
@@ -122,6 +126,12 @@ func Paper(n int, tr float64, seed int64) Config {
 
 // Event describes one cluster firing: the routers whose timers expired in
 // one shared busy window.
+//
+// Members and Expiries are backed by scratch owned by the System and
+// reused on the next Step — read or copy them before stepping again.
+// Every run helper and observer in this repository consumes them
+// immediately; the reuse is what keeps Step at zero steady-state
+// allocations.
 type Event struct {
 	// Start is the first timer expiration (busy window opens).
 	Start float64
@@ -164,6 +174,14 @@ type System struct {
 	// analysis is a second scratch for LargestPending/ClusterSizes, kept
 	// separate from members so OnEvent observers may call them mid-Step.
 	analysis []cluster.Member
+	// evMembers/evExpiries back the Members/Expiries slices of returned
+	// Events, reused every Step.
+	evMembers  []int
+	evExpiries []float64
+	// useBucket routes Step through the structure-of-arrays bucket
+	// engine; bucket holds its state.
+	useBucket bool
+	bucket    bucketState
 	// ref switches Step to the original sort-based engine
 	// (cluster.Grow over the full expiry set). The heap engine is
 	// differential-tested against it; it is settable only from
@@ -188,12 +206,20 @@ func New(cfg Config) *System {
 		panic("periodic: mean period must exceed N*Tc (system otherwise saturates)")
 	}
 	s := &System{
-		cfg:      cfg,
-		r:        rng.New(cfg.Seed),
-		expiry:   make([]float64, cfg.N),
-		heap:     make([]int32, cfg.N),
-		members:  make([]cluster.Member, cfg.N),
-		analysis: make([]cluster.Member, cfg.N),
+		cfg:        cfg,
+		r:          rng.New(cfg.Seed),
+		expiry:     make([]float64, cfg.N),
+		members:    make([]cluster.Member, cfg.N),
+		analysis:   make([]cluster.Member, cfg.N),
+		evMembers:  make([]int, cfg.N),
+		evExpiries: make([]float64, cfg.N),
+	}
+	s.useBucket = cfg.Engine == EngineBucket ||
+		(cfg.Engine == EngineAuto && cfg.N >= bucketEngineMinN)
+	if s.useBucket {
+		s.bucketInit()
+	} else {
+		s.heap = make([]int32, cfg.N)
 	}
 	switch cfg.Start {
 	case StartSynchronized:
@@ -204,8 +230,17 @@ func New(cfg Config) *System {
 			s.expiry[i] = s.r.Uniform(0, tp)
 		}
 	}
-	s.rebuildHeap()
+	s.rebuild()
 	return s
+}
+
+// rebuild refreshes the active engine's index of the expiry array.
+func (s *System) rebuild() {
+	if s.useBucket {
+		s.bucketRebuild()
+	} else {
+		s.rebuildHeap()
+	}
 }
 
 // Config returns the system's configuration.
@@ -230,6 +265,9 @@ func (s *System) NextExpiry() float64 {
 		}
 		return min
 	}
+	if s.useBucket {
+		return s.bucket.min
+	}
 	return s.expiry[s.heap[0]]
 }
 
@@ -245,7 +283,7 @@ func (s *System) SetExpiries(e []float64) {
 		panic("periodic: SetExpiries length mismatch")
 	}
 	copy(s.expiry, e)
-	s.rebuildHeap()
+	s.rebuild()
 }
 
 // OnEvent registers an observer invoked after every cluster firing.
@@ -263,13 +301,16 @@ func (s *System) TriggerUpdate() {
 	for i := range s.expiry {
 		s.expiry[i] = s.now
 	}
-	s.rebuildHeap()
+	s.rebuild()
 }
 
 // Step processes the next cluster firing and returns it.
 func (s *System) Step() Event {
 	if s.ref {
 		return s.stepReference()
+	}
+	if s.useBucket {
+		return s.stepBucket()
 	}
 	// Pop the cluster off the heap. The heap yields routers in
 	// (expiry, id) order, so the admission loop sees exactly the sorted
@@ -293,8 +334,8 @@ func (s *System) Step() Event {
 	ev := Event{
 		Start:    t,
 		End:      end,
-		Members:  make([]int, k),
-		Expiries: make([]float64, k),
+		Members:  s.evMembers[:k],
+		Expiries: s.evExpiries[:k],
 	}
 	for i := 0; i < k; i++ {
 		m := s.members[i]
@@ -339,8 +380,8 @@ func (s *System) stepReference() Event {
 	ev := Event{
 		Start:    c.Start,
 		End:      c.End,
-		Members:  make([]int, c.Size()),
-		Expiries: make([]float64, c.Size()),
+		Members:  s.evMembers[:c.Size()],
+		Expiries: s.evExpiries[:c.Size()],
 	}
 	for i, m := range c.Members {
 		ev.Members[i] = m.ID

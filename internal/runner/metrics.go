@@ -3,6 +3,8 @@ package runner
 import (
 	"fmt"
 	"sync/atomic"
+
+	"routesync/internal/des"
 )
 
 // Metrics accumulates engine observer notifications for one experiment
@@ -56,8 +58,15 @@ type MetricsSnapshot struct {
 	EventsScheduled uint64 `json:"events_scheduled,omitempty"`
 	EventsFired     uint64 `json:"events_fired,omitempty"`
 	EventsCancelled uint64 `json:"events_cancelled,omitempty"`
-	MaxHeapDepth    int64  `json:"max_heap_depth,omitempty"`
-	RoundsCompleted uint64 `json:"rounds_completed,omitempty"`
+	// EventQueuePeakDepth is the deepest the DES event queue got across
+	// every engine this experiment ran, whichever queue backend held it.
+	EventQueuePeakDepth int64  `json:"event_queue_peak_depth,omitempty"`
+	RoundsCompleted     uint64 `json:"rounds_completed,omitempty"`
+	// DESBackend records which event-queue backend the run's DES kernels
+	// used (heap or calendar), so a manifest diff can attribute a timing
+	// shift to a backend switch. Empty when the experiment scheduled no
+	// DES events.
+	DESBackend string `json:"des_backend,omitempty"`
 }
 
 // Snapshot returns the current counts, or nil if nothing was observed —
@@ -68,14 +77,17 @@ func (m *Metrics) Snapshot() *MetricsSnapshot {
 		return nil
 	}
 	s := &MetricsSnapshot{
-		EventsScheduled: m.scheduled.Load(),
-		EventsFired:     m.fired.Load(),
-		EventsCancelled: m.cancelled.Load(),
-		MaxHeapDepth:    m.maxDepth.Load(),
-		RoundsCompleted: m.rounds.Load(),
+		EventsScheduled:     m.scheduled.Load(),
+		EventsFired:         m.fired.Load(),
+		EventsCancelled:     m.cancelled.Load(),
+		EventQueuePeakDepth: m.maxDepth.Load(),
+		RoundsCompleted:     m.rounds.Load(),
 	}
 	if *s == (MetricsSnapshot{}) {
 		return nil
+	}
+	if s.EventsScheduled > 0 {
+		s.DESBackend = des.DefaultBackend().String()
 	}
 	return s
 }

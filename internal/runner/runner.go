@@ -163,7 +163,7 @@ func Run(opts Options) (*Summary, error) {
 	sum := &Summary{
 		Experiments: active,
 		Partial:     len(active) != len(pool),
-		Workers:     parallel.Workers(opts.Jobs),
+		Workers:     resolvedWorkers(opts.Jobs, len(active)),
 	}
 
 	// The manifest loaded here is read-only for the duration of the run:
@@ -316,6 +316,19 @@ func Run(opts Options) (*Summary, error) {
 		}
 	}
 	return sum, nil
+}
+
+// resolvedWorkers is the worker count the invocation actually runs with:
+// the normalized -jobs request, clamped to the number of selected
+// experiments — a -jobs 8 run of three experiments never has more than
+// three workers busy, and that is the number Summary and TIMINGS.json
+// should report.
+func resolvedWorkers(jobs, experiments int) int {
+	w := parallel.Workers(jobs)
+	if experiments > 0 && w > experiments {
+		w = experiments
+	}
+	return w
 }
 
 // artifacts reconstructs displayable artifacts from a manifest entry so

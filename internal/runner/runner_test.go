@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"routesync/internal/des"
 )
 
 // countingRegistry builds a registry of n file-writing experiments and
@@ -338,10 +340,35 @@ func TestMetricsSnapshot(t *testing.T) {
 	m.RoundCompleted(4.0, 7)
 	s := m.Snapshot()
 	if s == nil || s.EventsScheduled != 2 || s.EventsFired != 1 ||
-		s.EventsCancelled != 1 || s.MaxHeapDepth != 5 || s.RoundsCompleted != 1 {
+		s.EventsCancelled != 1 || s.EventQueuePeakDepth != 5 || s.RoundsCompleted != 1 {
 		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.DESBackend != des.DefaultBackend().String() {
+		t.Fatalf("DESBackend = %q, want %q", s.DESBackend, des.DefaultBackend().String())
 	}
 	if p := m.progress(); p != "1 rounds, 1 events" {
 		t.Fatalf("progress = %q", p)
+	}
+	// An experiment that never touched the DES kernel records no backend.
+	rounds := &Metrics{}
+	rounds.RoundCompleted(1.0, 3)
+	if s := rounds.Snapshot(); s == nil || s.DESBackend != "" {
+		t.Fatalf("rounds-only snapshot = %+v, want empty DESBackend", s)
+	}
+}
+
+func TestResolvedWorkers(t *testing.T) {
+	cases := []struct {
+		jobs, experiments, want int
+	}{
+		{jobs: 4, experiments: 33, want: 4},
+		{jobs: 8, experiments: 3, want: 3}, // clamp: only 3 can be busy
+		{jobs: 1, experiments: 10, want: 1},
+		{jobs: 5, experiments: 0, want: 5}, // degenerate selection: keep the bound
+	}
+	for _, c := range cases {
+		if got := resolvedWorkers(c.jobs, c.experiments); got != c.want {
+			t.Errorf("resolvedWorkers(%d, %d) = %d, want %d", c.jobs, c.experiments, got, c.want)
+		}
 	}
 }
