@@ -1,15 +1,20 @@
 // Command benchguard compares `go test -bench` output on stdin against a
 // committed BENCH_*.json baseline and fails when any matching benchmark
-// allocates more per op than the baseline recorded, or runs slower than
-// the baseline ns/op by more than a configurable tolerance. allocs/op is
-// exact and gated strictly; ns/op is noisy in CI, so the time gate only
-// trips on regressions past -tolerance (default 25%) — wide enough to
-// ride out scheduler jitter, tight enough to catch a hot path falling
-// off its complexity class.
+// allocates more per op than the baseline recorded (plus 1% headroom,
+// which rounds to zero for the alloc-free hot paths — a 0 → 1 allocs/op
+// slip still fails exactly), or runs slower than the baseline ns/op by
+// more than a configurable tolerance. ns/op is noisy in CI, so the time
+// gate only trips on regressions past -tolerance (default 25%) — wide
+// enough to ride out scheduler jitter, tight enough to catch a hot path
+// falling off its complexity class.
 //
 // Usage:
 //
-//	go test -bench . -benchtime 100x ./internal/bench/ | benchguard -baseline out/BENCH_0004.json
+//	go test -bench . -benchtime 100x ./internal/bench/ | benchguard
+//
+// With no -baseline the guard picks the newest out/BENCH_*.json (the
+// zero-padded numbering makes lexicographic order chronological), so the
+// CI invocation needs no edit when a PR adds the next snapshot.
 //
 // Benchmark names are normalized (the "Benchmark" prefix and the
 // "-<GOMAXPROCS>" suffix are stripped) and compared by intersection with
@@ -25,7 +30,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -84,7 +91,31 @@ func parseBenchOutput(r io.Reader) (map[string]measurement, error) {
 	return out, sc.Err()
 }
 
+// newestBaseline returns the lexicographically last out-dir BENCH_*.json
+// — the zero-padded numbering makes that the most recent snapshot — so
+// the guard follows the trajectory without CI edits on every PR.
+func newestBaseline(dir string) (string, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(names) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json under %s", dir)
+	}
+	sort.Strings(names)
+	return names[len(names)-1], nil
+}
+
 func run(baselinePath string, tolerance float64, stdin io.Reader, stdout, stderr io.Writer) int {
+	if baselinePath == "" {
+		p, err := newestBaseline("out")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchguard:", err)
+			return 1
+		}
+		baselinePath = p
+		fmt.Fprintf(stdout, "benchguard: baseline %s (newest in out/)\n", baselinePath)
+	}
 	buf, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchguard:", err)
@@ -109,7 +140,13 @@ func run(baselinePath string, tolerance float64, stdin io.Reader, stdout, stderr
 		}
 		matches++
 		status := "ok"
-		if got.allocsPerOp > b.AllocsPerOp {
+		// 1% headroom on allocs/op: integer division keeps the gate exact
+		// for the alloc-free and near-alloc-free hot paths (1% of 0 or of
+		// 9 is 0), while the parallel-engine benchmarks — tens of
+		// thousands of inherent allocations plus goroutine machinery —
+		// wobble by a few counts with scheduler interleaving and must not
+		// flap CI.
+		if got.allocsPerOp > b.AllocsPerOp+b.AllocsPerOp/100 {
 			status = "REGRESSION(allocs)"
 			regressions++
 		} else if b.NsPerOp > 0 && got.nsPerOp > b.NsPerOp*(1+tolerance) {
@@ -135,7 +172,7 @@ func run(baselinePath string, tolerance float64, stdin io.Reader, stdout, stderr
 }
 
 func main() {
-	baseline := flag.String("baseline", "out/BENCH_0004.json", "committed BENCH_*.json to guard against")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to guard against (default: newest out/BENCH_*.json)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing")
 	flag.Parse()
 	os.Exit(run(*baseline, *tolerance, os.Stdin, os.Stdout, os.Stderr))

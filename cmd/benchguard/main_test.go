@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -141,6 +142,45 @@ func TestGuardRejectsEmptyIntersection(t *testing.T) {
 		0.25, strings.NewReader(sampleBenchOutput), &out, &errb)
 	if code != 1 || !strings.Contains(errb.String(), "no benchmark in the input matched") {
 		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+}
+
+func TestGuardAllocHeadroom(t *testing.T) {
+	// Large inherently-allocating benchmarks (the parallel engine) wobble
+	// by a few allocs/op with goroutine scheduling; 1% headroom absorbs
+	// that, while 2% still fails. Zero-alloc baselines stay exact — see
+	// TestGuardCatchesAllocRegression's 0 → 1 case.
+	base := `{"benchmarks": [{"name": "Big", "ns_per_op": 100, "allocs_per_op": 20000}]}`
+	line := "BenchmarkBig-8   100   100.0 ns/op   0 B/op   %d allocs/op\n"
+	var out, errb bytes.Buffer
+	if code := run(writeBaseline(t, base), 0.25,
+		strings.NewReader(fmt.Sprintf(line, 20150)), &out, &errb); code != 0 {
+		t.Fatalf("+0.75%%: exit %d, stdout %q", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(writeBaseline(t, base), 0.25,
+		strings.NewReader(fmt.Sprintf(line, 20400)), &out, &errb); code != 1 {
+		t.Fatalf("+2%%: exit %d, want 1", code)
+	}
+}
+
+func TestNewestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_0002.json", "BENCH_0010.json", "BENCH_0004.json", "TIMINGS.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := newestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_0010.json" {
+		t.Fatalf("newestBaseline = %q, want BENCH_0010.json", got)
+	}
+	if _, err := newestBaseline(t.TempDir()); err == nil {
+		t.Fatal("empty dir: want error")
 	}
 }
 

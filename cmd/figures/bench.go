@@ -16,7 +16,7 @@ import (
 // benchFileName is this PR's entry in the benchmark trajectory; the
 // number advances with the PR sequence so successive snapshots sit side
 // by side in out/.
-const benchFileName = "BENCH_0004.json"
+const benchFileName = "BENCH_0005.json"
 
 // benchResult is one micro-benchmark measurement.
 type benchResult struct {
@@ -32,9 +32,12 @@ type benchResult struct {
 // both the micro (ns/op, allocs/op) and macro (per-driver wall time)
 // trajectory for cross-PR comparison.
 type benchFile struct {
-	GoVersion  string              `json:"go_version"`
-	GOOS       string              `json:"goos"`
-	GOARCH     string              `json:"goarch"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// NumCPU qualifies the parallel-engine measurements (NetsimScale):
+	// the K>1 vs K=1 ratio is only a speedup when cores are available.
+	NumCPU     int                 `json:"num_cpu"`
 	Benchmarks []benchResult       `json:"benchmarks"`
 	Timings    *runner.TimingsFile `json:"timings,omitempty"`
 }
@@ -65,11 +68,19 @@ func runBench(outDir string) error {
 		{"ClusterGrow/N=1000", func(b *testing.B) { bench.ClusterGrow(b, 1000) }},
 		{"ClusterGrowSorted/N=1000", func(b *testing.B) { bench.ClusterGrowSorted(b, 1000) }},
 		{"ClusterPartition/N=1000", func(b *testing.B) { bench.ClusterPartition(b, 1000) }},
+		{"NetsimForward", bench.NetsimForward},
+		{"NetsimScale/N=500/K=1", func(b *testing.B) { bench.NetsimScale(b, 500, 1) }},
+		{"NetsimScale/N=500/K=2", func(b *testing.B) { bench.NetsimScale(b, 500, 2) }},
+		{"NetsimScale/N=500/K=8", func(b *testing.B) { bench.NetsimScale(b, 500, 8) }},
+		{"NetsimScale/N=5000/K=1", func(b *testing.B) { bench.NetsimScale(b, 5000, 1) }},
+		{"NetsimScale/N=5000/K=2", func(b *testing.B) { bench.NetsimScale(b, 5000, 2) }},
+		{"NetsimScale/N=5000/K=8", func(b *testing.B) { bench.NetsimScale(b, 5000, 8) }},
 	}
 	bf := benchFile{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
 	}
 	for _, c := range cases {
 		r := testing.Benchmark(c.fn)

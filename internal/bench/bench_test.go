@@ -61,3 +61,11 @@ func BenchmarkClusterPartition(b *testing.B) {
 		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) { ClusterPartition(b, n) })
 	}
 }
+
+func BenchmarkNetsimForward(b *testing.B) { NetsimForward(b) }
+
+func BenchmarkNetsimScale(b *testing.B) {
+	for _, k := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("N=500/K=%d", k), func(b *testing.B) { NetsimScale(b, 500, k) })
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+
+	"routesync/internal/experiments"
+	"routesync/internal/netsim"
+)
+
+// NetsimForward measures the packet-forwarding hot path: one op injects a
+// packet at one end of a five-node chain and runs it to delivery — four
+// store-and-forward hops, each a serialization event plus an arrival
+// event. With the ring-buffered in-flight queues and hoisted arrival
+// closures the steady state allocates only the packet itself.
+func NetsimForward(b *testing.B) {
+	net := netsim.NewNetwork(1)
+	nodes := net.BuildChain(
+		[]string{"src", "r1", "r2", "r3", "dst"}, nil,
+		netsim.LinkConfig{Delay: 0.0005, Bandwidth: 1e9, QueueCap: 64},
+	)
+	src, dst := nodes[0], nodes[len(nodes)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt := net.NewPacket(netsim.KindData, src.ID, dst.ID, 64)
+		net.Inject(pkt)
+		net.RunUntil(net.Now() + 1)
+	}
+}
+
+// NetsimScale measures one full run of the ext_netscale scenario —
+// `routers` routers of real periodic routing updates plus the crossing
+// ping stream, one RIP period plus convergence slack of simulated time —
+// on k logical processes. Build time is excluded; the measured region is
+// exactly the conservative parallel engine executing the workload, so
+// the K=1 vs K=n ratio in BENCH_*.json is the engine's speedup on the
+// recording machine (see the num_cpu field: on a single-core machine the
+// ratio can only be ≤ 1, with the gap measuring synchronization
+// overhead).
+func NetsimScale(b *testing.B, routers, k int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sc := experiments.BuildNetScale(routers, 25, k, 1, 40, nil)
+		b.StartTimer()
+		sc.Run()
+	}
+}

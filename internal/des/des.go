@@ -9,7 +9,11 @@
 // internal/periodic and the packet-level network simulator in
 // internal/netsim — runs on this kernel. Determinism matters: given the
 // same seed and the same event program, a simulation must replay exactly,
-// so events scheduled for the same instant fire in scheduling order.
+// so events scheduled for the same instant fire in scheduling order —
+// or, for events carrying a logical priority key (ScheduleKeyed), in key
+// order, which makes the schedule reproducible even across differently
+// partitioned parallel runs. RunBefore exposes the half-open execution
+// window that conservative parallel simulation is built on.
 //
 // The kernel is steady-state allocation-free: events live in a pooled slot
 // array owned by the Simulator and are recycled through a free list, so a
@@ -41,7 +45,8 @@ type Event struct {
 // event is the pooled storage behind an Event handle.
 type event struct {
 	at     Time
-	seq    uint64 // insertion order; breaks ties deterministically
+	key    uint64 // logical priority at equal times; 0 for unkeyed events
+	seq    uint64 // insertion order; breaks remaining ties deterministically
 	gen    uint32 // bumped on release; stale handles mismatch
 	index  int32  // heap index or position within bucket, -1 when not queued
 	bucket int32  // calendar backend: physical bucket holding the event
@@ -178,11 +183,21 @@ func (s *Simulator) qRemove(slot int32) {
 // Processed returns the number of events executed so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
 
-// less orders heap slots by (time, insertion order).
+// less orders slots by (time, key, insertion order) — the contract shared
+// by both queue backends. Unkeyed events carry key 0, so programs that
+// never call ScheduleKeyed get pure (time, insertion order) FIFO exactly
+// as before. Keyed events order by their logical key at equal times,
+// which is what makes an ordering reproducible across differently-
+// partitioned simulations: the key is derived from the event's *origin*
+// (who scheduled it), not from when it happened to be inserted into this
+// particular queue.
 func (s *Simulator) less(a, b int32) bool {
 	ea, eb := &s.pool[a], &s.pool[b]
 	if ea.at != eb.at {
 		return ea.at < eb.at
+	}
+	if ea.key != eb.key {
+		return ea.key < eb.key
 	}
 	return ea.seq < eb.seq
 }
@@ -258,6 +273,20 @@ func (s *Simulator) release(slot int32) {
 // the current clock (scheduling into the past is always a bug) or is NaN.
 // The label is kept for diagnostics and error messages.
 func (s *Simulator) Schedule(at Time, label string, fn func()) Event {
+	return s.ScheduleKeyed(at, 0, label, fn)
+}
+
+// ScheduleKeyed queues fn to run at absolute time at with a logical
+// priority key: at equal timestamps events fire in ascending key order
+// (ties on equal keys fall back to insertion order). Callers that need an
+// event ordering independent of *when* events were inserted — the
+// partitioned network simulator, where the same packet arrival may be
+// queued at transmission time (sequential run) or at a window barrier
+// (partitioned run) — derive the key from the event's origin and a
+// per-origin sequence number, making the fire order a pure function of
+// the simulated system. Keyed and unkeyed events may share a queue;
+// unkeyed events carry key 0 and therefore sort first at their timestamp.
+func (s *Simulator) ScheduleKeyed(at Time, key uint64, label string, fn func()) Event {
 	if math.IsNaN(at) {
 		panic("des: Schedule with NaN time")
 	}
@@ -277,6 +306,7 @@ func (s *Simulator) Schedule(at Time, label string, fn func()) Event {
 	}
 	ev := &s.pool[slot]
 	ev.at = at
+	ev.key = key
 	ev.seq = s.seq
 	ev.fn = fn
 	ev.label = label
@@ -291,6 +321,23 @@ func (s *Simulator) Schedule(at Time, label string, fn func()) Event {
 // After queues fn to run delay seconds from now. Negative delays panic.
 func (s *Simulator) After(delay Time, label string, fn func()) Event {
 	return s.Schedule(s.now+delay, label, fn)
+}
+
+// AfterKeyed queues fn to run delay seconds from now with a logical
+// priority key; see ScheduleKeyed.
+func (s *Simulator) AfterKeyed(delay Time, key uint64, label string, fn func()) Event {
+	return s.ScheduleKeyed(s.now+delay, key, label, fn)
+}
+
+// NextAt returns the timestamp of the earliest pending event, or +Inf when
+// the queue is empty. The partitioned runtime uses this to pick the next
+// synchronization window without executing anything.
+func (s *Simulator) NextAt() Time {
+	slot := s.qPeek()
+	if slot < 0 {
+		return math.Inf(1)
+	}
+	return s.pool[slot].at
 }
 
 // Cancel removes a pending event from the queue. Cancelling an event that
@@ -358,6 +405,40 @@ func (s *Simulator) RunUntil(horizon Time) uint64 {
 	if !s.stopped && !math.IsInf(horizon, 1) && s.now < horizon {
 		// Advance the clock to the horizon so repeated RunUntil calls
 		// observe monotonic time even across idle gaps.
+		s.now = horizon
+	}
+	return n
+}
+
+// RunBefore executes events with timestamps strictly less than horizon (or
+// until Stop or an empty queue) and then advances the clock to horizon.
+// The half-open window [now, horizon) is the primitive behind conservative
+// parallel execution: a logical process granted a window may safely run
+// every event before the window's end, while events *at* the end belong to
+// the next window (a boundary arrival injected at the barrier could still
+// land exactly at horizon and must order against them). It returns the
+// number of events processed by this call. horizon must be finite.
+func (s *Simulator) RunBefore(horizon Time) uint64 {
+	if s.running {
+		panic("des: RunBefore re-entered from within an event")
+	}
+	if math.IsInf(horizon, 0) || math.IsNaN(horizon) {
+		panic("des: RunBefore horizon must be finite")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	var n uint64
+	for !s.stopped {
+		slot := s.qPeek()
+		if slot < 0 || s.pool[slot].at >= horizon {
+			break
+		}
+		s.Step()
+		n++
+	}
+	if !s.stopped && s.now < horizon {
 		s.now = horizon
 	}
 	return n

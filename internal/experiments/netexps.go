@@ -86,7 +86,7 @@ type builtPath struct {
 func buildPath(c PathConfig) *builtPath {
 	net := netsim.NewNetwork(c.Seed)
 	if c.Obs != nil {
-		net.Sim.SetObserver(c.Obs)
+		net.SetObserver(c.Obs)
 	}
 	cpuCfg := &netsim.CPUConfig{
 		Mode:          netsim.CPUModeLegacy,

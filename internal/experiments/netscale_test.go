@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestNetScaleKInvariant: the scale scenario's observable outcome (ping
+// RTT series, routing send timelines, network counters) is identical for
+// any partition count — the property that lets ext_netscale emit
+// Jobs-independent artifacts.
+func TestNetScaleKInvariant(t *testing.T) {
+	type snap struct {
+		rtts   []float64
+		sends  [][]float64
+		counts any
+		sync   float64
+	}
+	run := func(k int) snap {
+		sc := BuildNetScale(60, 10, k, 1, 40, nil)
+		sc.Run()
+		return snap{
+			rtts:   sc.Pinger.Result().RTTs,
+			sends:  sc.SendTimes,
+			counts: sc.Net.Counters(),
+			sync:   sc.SyncClusterFraction(30, 1),
+		}
+	}
+	ref := run(1)
+	lost := 0
+	for _, v := range ref.rtts {
+		if v != v { // NaN
+			lost++
+		}
+	}
+	if lost == len(ref.rtts) {
+		t.Fatal("every ping lost; scenario is wired wrong")
+	}
+	if ref.sync <= 0 {
+		t.Fatal("no sends recorded")
+	}
+	for _, k := range []int{2, 3, 6} {
+		got := run(k)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("k=%d: scenario outcome diverges from k=1", k)
+		}
+	}
+}
+
+// TestExtNetScaleSmoke runs the registered experiment at a toy size.
+func TestExtNetScaleSmoke(t *testing.T) {
+	res := ExtNetScale(NetScaleConfig{
+		Sizes:        []int{60, 120},
+		RoutersPerAS: 10,
+		Horizon:      40,
+		Jobs:         2,
+		Seed:         1,
+	})
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if s.Len() != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Name, s.Len())
+		}
+	}
+	if len(res.Notes) != 2 {
+		t.Fatalf("notes = %v", res.Notes)
+	}
+}

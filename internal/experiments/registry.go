@@ -246,6 +246,14 @@ func registerFigures(reg *runner.Registry) {
 		}
 		return ExtTriggered(nil, horizon, 1)
 	})
+	fig(reg, "ext_netscale", runner.CostExpensive, func(spec *runner.Spec) *Result {
+		cfg := NetScaleConfig{Jobs: spec.Jobs, Seed: 1, Obs: spec.DESObserver()}
+		if spec.Quick {
+			cfg.Sizes = []int{500, 1000}
+			cfg.Horizon = 65
+		}
+		return ExtNetScale(cfg)
+	})
 	fig(reg, "ext_largen", runner.CostExpensive, func(spec *runner.Spec) *Result {
 		ns, rounds := []int(nil), 0
 		if spec.Quick {

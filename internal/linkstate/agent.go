@@ -136,7 +136,7 @@ func (a *Agent) Stats() Stats { return a.stats }
 // Stop halts origination and processing; the LSDB is left for inspection.
 func (a *Agent) Stop() {
 	a.stopped = true
-	a.node.Net().Sim.Cancel(a.timerEv)
+	a.node.Cancel(a.timerEv)
 	a.timerEv = des.Event{}
 	a.node.OnRouting = nil
 }
@@ -196,8 +196,7 @@ func (a *Agent) Start(startOffset float64) {
 	if startOffset < 0 {
 		panic("linkstate: negative start offset")
 	}
-	sim := a.node.Net().Sim
-	a.timerEv = sim.Schedule(sim.Now()+startOffset, a.refreshLabel, a.onTimer)
+	a.timerEv = a.node.After(startOffset, a.refreshLabel, a.onTimer)
 	a.scheduleSweep()
 }
 
@@ -217,7 +216,7 @@ func (a *Agent) originate() {
 	a.seq++
 	nbrs := a.neighbors()
 	lsa := LSA{Origin: a.node.ID, Seq: a.seq, Neighbors: nbrs}
-	now := a.node.Net().Sim.Now()
+	now := a.node.Now()
 	prev, had := a.lsdb[a.node.ID]
 	a.lsdb[a.node.ID] = lsdbEntry{lsa: lsa, updated: now}
 	a.flood(lsa, nil)
@@ -239,14 +238,13 @@ func (a *Agent) rearmWhenIdle() {
 	if a.stopped {
 		return
 	}
-	sim := a.node.Net().Sim
 	if a.node.CPU != nil && a.node.CPU.Busy() {
-		sim.Schedule(a.node.CPU.BusyUntil(), "lsa-rearm-wait", a.rearmFn)
+		a.node.Schedule(a.node.CPU.BusyUntil(), "lsa-rearm-wait", a.rearmFn)
 		return
 	}
-	sim.Cancel(a.timerEv)
+	a.node.Cancel(a.timerEv)
 	delay := a.cfg.Jitter.Delay(a.r, int(a.node.ID))
-	a.timerEv = sim.Schedule(sim.Now()+delay, a.refreshLabel, a.onTimer)
+	a.timerEv = a.node.After(delay, a.refreshLabel, a.onTimer)
 }
 
 // flood encodes an LSA and transmits it on every medium.
@@ -303,7 +301,7 @@ func (a *Agent) integrate(payload []byte, origin netsim.NodeID, seq uint32, via 
 	if origin == a.node.ID {
 		return // our own LSA echoed back
 	}
-	now := a.node.Net().Sim.Now()
+	now := a.node.Now()
 	cur, ok := a.lsdb[origin]
 	if ok && seq <= cur.lsa.Seq {
 		// Stale or duplicate: refresh the age on an exact duplicate (the
@@ -499,12 +497,11 @@ func (a *Agent) scheduleSweep() {
 	if a.stopped {
 		return
 	}
-	sim := a.node.Net().Sim
-	sim.Schedule(sim.Now()+a.cfg.RefreshPeriod, "lsa-sweep", a.sweepFn)
+	a.node.After(a.cfg.RefreshPeriod, "lsa-sweep", a.sweepFn)
 }
 
 func (a *Agent) sweep() {
-	now := a.node.Net().Sim.Now()
+	now := a.node.Now()
 	maxAge := a.cfg.MaxAgeFactor * a.cfg.RefreshPeriod
 	changed := false
 	for origin, e := range a.lsdb {

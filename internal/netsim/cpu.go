@@ -72,7 +72,7 @@ func newCPU(nd *Node, cfg CPUConfig) *CPU {
 func (c *CPU) Config() CPUConfig { return c.cfg }
 
 // Busy reports whether the CPU is currently occupied.
-func (c *CPU) Busy() bool { return c.busyUntil > c.node.net.Sim.Now() }
+func (c *CPU) Busy() bool { return c.busyUntil > c.node.Now() }
 
 // BusyUntil returns the time the current work backlog completes.
 func (c *CPU) BusyUntil() float64 { return c.busyUntil }
@@ -88,7 +88,7 @@ func (c *CPU) Occupy(d float64) float64 {
 	if d < 0 {
 		panic("netsim: negative CPU occupancy")
 	}
-	now := c.node.net.Sim.Now()
+	now := c.node.Now()
 	if c.busyUntil < now {
 		c.busyUntil = now
 	}
@@ -98,7 +98,7 @@ func (c *CPU) Occupy(d float64) float64 {
 	// Schedule a drain at this work item's completion; the drain is a
 	// no-op if further work arrived in the meantime (a later drain will
 	// handle the queue).
-	c.node.net.Sim.Schedule(done, "cpu-drain", c.drainFn)
+	c.node.Schedule(done, "cpu-drain", c.drainFn)
 	return done
 }
 
@@ -107,7 +107,7 @@ func (c *CPU) Occupy(d float64) float64 {
 // paper's §3 step 3 coupling).
 func (c *CPU) OccupyThen(d float64, fn func()) {
 	done := c.Occupy(d)
-	c.node.net.Sim.Schedule(done, "cpu-work-done", fn)
+	c.node.Schedule(done, "cpu-work-done", fn)
 }
 
 // enqueueOrDrop buffers a data packet that arrived while forwarding is

@@ -22,15 +22,23 @@ type lanFrame struct {
 type lanTx struct {
 	busy  bool
 	queue []lanFrame
-	// txDone frees the transmitter and pops the queue; hoisted so each
-	// frame schedules it without allocating a fresh closure.
+	// inflight holds serialized frames in propagation order; arrive pops
+	// the head (arrival times are monotone per transmitter).
+	inflight ring[lanFrame]
+	// txDone frees the transmitter and pops the queue; arrive delivers
+	// the head in-flight frame. Hoisted: no per-frame closures.
 	txDone func()
+	arrive func()
 }
 
 // LAN is an idealized broadcast segment (an Ethernet without collisions):
 // a frame transmitted by one member is received by the addressed member,
 // or by every other member for Broadcast frames. Each member has its own
 // transmitter and drop-tail output queue.
+//
+// A LAN is a single synchronization domain: all members must be owned by
+// the same partition (Partition enforces this), so broadcast delivery
+// never crosses a boundary.
 type LAN struct {
 	net     *Network
 	cfg     LANConfig
@@ -63,6 +71,10 @@ func (n *Network) NewLAN(members []*Node, cfg LANConfig) *LAN {
 				l.startTx(from, st, next)
 			}
 		}
+		st.arrive = func() {
+			fr := st.inflight.pop()
+			l.deliver(fr.pkt, from, fr.to)
+		}
 		l.tx[m.ID] = st
 		m.attachMedium(l)
 	}
@@ -93,7 +105,7 @@ func (l *LAN) Transmit(pkt *Packet, from *Node, to NodeID) {
 	}
 	if st.busy {
 		if len(st.queue) >= l.cfg.QueueCap {
-			l.net.drop(pkt, DropQueueOverflow)
+			l.net.dropAt(from, DropQueueOverflow)
 			return
 		}
 		st.queue = append(st.queue, lanFrame{pkt: pkt, to: to})
@@ -112,11 +124,10 @@ func (l *LAN) serialization(pkt *Packet) float64 {
 func (l *LAN) startTx(from *Node, st *lanTx, fr lanFrame) {
 	st.busy = true
 	ser := l.serialization(fr.pkt)
-	sim := l.net.Sim
-	sim.After(ser+l.cfg.Delay, "lan-arrival", func() {
-		l.deliver(fr.pkt, from, fr.to)
-	})
-	sim.After(ser, "lan-tx-done", st.txDone)
+	sim := from.sim()
+	st.inflight.push(fr)
+	sim.ScheduleKeyed(sim.Now()+ser+l.cfg.Delay, from.nextKey(), "lan-arrival", st.arrive)
+	sim.ScheduleKeyed(sim.Now()+ser, from.nextKey(), "lan-tx-done", st.txDone)
 }
 
 func (l *LAN) deliver(pkt *Packet, from *Node, to NodeID) {
@@ -138,5 +149,5 @@ func (l *LAN) deliver(pkt *Packet, from *Node, to NodeID) {
 			return
 		}
 	}
-	l.net.drop(pkt, DropNoRoute)
+	l.net.dropAt(from, DropNoRoute)
 }

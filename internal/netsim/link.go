@@ -4,7 +4,9 @@ import "fmt"
 
 // LinkConfig parameterizes a point-to-point link.
 type LinkConfig struct {
-	// Delay is the one-way propagation time in seconds.
+	// Delay is the one-way propagation time in seconds. On links that
+	// cross partition boundaries it must be positive: it is the lookahead
+	// that lets logical processes advance in parallel.
 	Delay float64
 	// Bandwidth is bits per second; 0 means infinite (no serialization).
 	Bandwidth float64
@@ -57,7 +59,8 @@ func (l *Link) Utilization(from *Node, window float64) float64 {
 
 // SetDown marks the link failed (true) or restored (false). Packets in
 // flight or transmitted while the link is down are dropped — the failure
-// model behind the routing protocol's convergence tests.
+// model behind the routing protocol's convergence tests. Not supported
+// while a partitioned run is in progress (topology state is shared).
 func (l *Link) SetDown(down bool) {
 	l.down = down
 	l.net.bumpTopology()
@@ -69,9 +72,15 @@ func (l *Link) Down() bool { return l.down }
 type txState struct {
 	busy  bool
 	queue []*Packet
-	// txDone frees the transmitter and pops the queue; hoisted so each
-	// packet schedules it without allocating a fresh closure.
+	// inflight holds serialized packets in propagation order; arrive pops
+	// the head. Arrival times are monotone within a direction (the
+	// transmitter is serial), so FIFO order is arrival order.
+	inflight ring[*Packet]
+	// txDone frees the transmitter and pops the queue; arrive delivers
+	// the head in-flight packet. Both are hoisted so each packet
+	// schedules them without allocating a fresh closure.
 	txDone func()
+	arrive func()
 }
 
 // Connect creates a link between a and b. It panics if a == b.
@@ -88,6 +97,7 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 	l := &Link{net: n, cfg: cfg, ends: [2]*Node{a, b}}
 	for d := range l.tx {
 		d := d
+		dst := l.ends[1-d]
 		l.tx[d].txDone = func() {
 			st := &l.tx[d]
 			st.busy = false
@@ -97,10 +107,24 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 				l.startTx(d, next)
 			}
 		}
+		l.tx[d].arrive = func() {
+			pkt := l.tx[d].inflight.pop()
+			l.deliverTo(dst, pkt)
+		}
 	}
 	a.attachMedium(l)
 	b.attachMedium(l)
 	return l
+}
+
+// deliverTo completes propagation at the receiving end. It runs on the
+// receiver's simulator (the boundary path injects it there).
+func (l *Link) deliverTo(dst *Node, pkt *Packet) {
+	if l.down {
+		l.net.dropAt(dst, DropLinkDown)
+		return
+	}
+	dst.receive(pkt, l)
 }
 
 // Config returns the link configuration.
@@ -141,14 +165,14 @@ func (l *Link) dir(from *Node) int {
 // that Broadcast is also valid.
 func (l *Link) Transmit(pkt *Packet, from *Node, _ NodeID) {
 	if l.down {
-		l.net.drop(pkt, DropLinkDown)
+		l.net.dropAt(from, DropLinkDown)
 		return
 	}
 	d := l.dir(from)
 	st := &l.tx[d]
 	if st.busy {
 		if len(st.queue) >= l.cfg.QueueCap {
-			l.net.drop(pkt, DropQueueOverflow)
+			l.net.dropAt(from, DropQueueOverflow)
 			return
 		}
 		st.queue = append(st.queue, pkt)
@@ -169,17 +193,25 @@ func (l *Link) startTx(d int, pkt *Packet) {
 	st.busy = true
 	l.txPackets[d]++
 	l.txBytes[d] += uint64(pkt.Size)
-	ser := l.serialization(pkt)
-	sim := l.net.Sim
+	src := l.ends[d]
 	dst := l.ends[1-d]
-	// Arrival at the far end after serialization + propagation.
-	sim.After(ser+l.cfg.Delay, "link-arrival", func() {
-		if l.down {
-			l.net.drop(pkt, DropLinkDown)
-			return
-		}
-		dst.receive(pkt, l)
-	})
+	sim := src.sim()
+	ser := l.serialization(pkt)
+	// Arrival at the far end after serialization + propagation. The key
+	// is drawn from the sender *before* the tx-done key in both branches,
+	// so the key sequence is identical whether or not the link crosses a
+	// partition boundary.
+	arriveAt := sim.Now() + ser + l.cfg.Delay
+	arriveKey := src.nextKey()
+	if dst.part == src.part {
+		st.inflight.push(pkt)
+		sim.ScheduleKeyed(arriveAt, arriveKey, "link-arrival", st.arrive)
+	} else {
+		// Cross-partition: hand the arrival to the receiver's logical
+		// process at the next window barrier. The key travels with it, so
+		// the receiver orders it exactly as a sequential run would.
+		src.part.send(boundaryEvent{at: arriveAt, key: arriveKey, pkt: pkt, dst: dst, link: l})
+	}
 	// Transmitter frees after serialization; pop the queue.
-	sim.After(ser, "link-tx-done", st.txDone)
+	sim.ScheduleKeyed(sim.Now()+ser, src.nextKey(), "link-tx-done", st.txDone)
 }

@@ -15,6 +15,17 @@
 // internal/periodic: messages here are real packets crossing real links,
 // so experiments built on it (Figs 1–3) exercise an independent
 // implementation of the paper's mechanisms.
+//
+// # Determinism and parallel execution
+//
+// Every event a simulation schedules is keyed by its origin node and a
+// per-node sequence number (des.ScheduleKeyed), every random draw comes
+// from a per-node stream, and packet ids and counters are per-node too —
+// so the execution order at equal timestamps is a pure function of the
+// simulated system, not of scheduling order. That is what lets Partition
+// split a topology across K logical processes, each on its own
+// des.Simulator, and still produce bit-identical results for any K
+// (including K=1 and the unpartitioned network). See partition.go.
 package netsim
 
 import (
@@ -95,6 +106,57 @@ const (
 	DropLinkDown      DropReason = "link-down"
 )
 
+// numDropReasons sizes the fixed drop-counter arrays; dropIndex maps each
+// reason to its slot. Counting a drop is an array increment — no map
+// lookup, no lazy allocation — and merging partition counters is a
+// commutative array sum.
+const numDropReasons = 6
+
+func dropIndex(r DropReason) int {
+	switch r {
+	case DropQueueOverflow:
+		return 0
+	case DropCPUBusy:
+		return 1
+	case DropNoRoute:
+		return 2
+	case DropTTLExpired:
+		return 3
+	case DropRandomLoss:
+		return 4
+	case DropLinkDown:
+		return 5
+	default:
+		panic(fmt.Sprintf("netsim: unknown drop reason %q", r))
+	}
+}
+
+// dropReasons lists reasons in dropIndex order, for snapshots.
+var dropReasons = [numDropReasons]DropReason{
+	DropQueueOverflow, DropCPUBusy, DropNoRoute,
+	DropTTLExpired, DropRandomLoss, DropLinkDown,
+}
+
+// counterSet is the internal accounting block. The unpartitioned network
+// owns one; every partition owns its own, so logical processes never
+// contend on shared counters, and Counters() merges them — all fields are
+// commutative sums, so the merge is K-independent.
+type counterSet struct {
+	injected  uint64
+	delivered uint64
+	forwarded uint64
+	drops     [numDropReasons]uint64
+}
+
+func (c *counterSet) add(o *counterSet) {
+	c.injected += o.injected
+	c.delivered += o.delivered
+	c.forwarded += o.forwarded
+	for i := range c.drops {
+		c.drops[i] += o.drops[i]
+	}
+}
+
 // Counters aggregates network-wide packet accounting.
 type Counters struct {
 	Injected  uint64
@@ -114,12 +176,24 @@ func (c *Counters) TotalDropped() uint64 {
 
 // Network owns the simulator, the topology and the counters.
 type Network struct {
-	Sim     *des.Simulator
+	// Sim is the root simulator. An unpartitioned network runs entirely
+	// on it; after Partition it only orders pre-run setup (it must be
+	// empty when Run starts — every runtime event lives in a partition).
+	Sim *des.Simulator
+	// Rand is build-time randomness (topology generation). Runtime draws
+	// — per-arrival loss — come from per-node streams so the draw order
+	// cannot depend on the partitioning.
 	Rand    *rng.Source
+	seed    int64
 	nodes   []*Node
-	count   Counters
-	pktID   uint64
+	count   counterSet
 	topoVer uint64
+	parts   []*partition
+	// lookahead is the minimum cross-partition link delay (see Lookahead).
+	lookahead float64
+	// phantomPktSeq numbers packets whose src is not a real node.
+	phantomPktSeq uint64
+	obs           des.Observer
 }
 
 // NewNetwork creates an empty network with the given seed.
@@ -127,34 +201,63 @@ func NewNetwork(seed int64) *Network {
 	return &Network{
 		Sim:  des.New(),
 		Rand: rng.New(seed),
+		seed: seed,
 	}
 }
 
-// Counters returns a snapshot of the accounting counters.
+// countersFor returns the counter set charged by events executing at nd:
+// the owning partition's when the network is partitioned, the network's
+// otherwise.
+func (n *Network) countersFor(nd *Node) *counterSet {
+	if nd.part != nil {
+		return &nd.part.count
+	}
+	return &n.count
+}
+
+// Counters returns a snapshot of the accounting counters, merged across
+// partitions. The merge order is fixed (partition index), and every field
+// is a sum, so the snapshot is identical for any partition count.
 func (n *Network) Counters() Counters {
-	snap := n.count
-	snap.Drops = make(map[DropReason]uint64, len(n.count.Drops))
-	for k, v := range n.count.Drops {
-		snap.Drops[k] = v
+	total := n.count
+	for _, p := range n.parts {
+		total.add(&p.count)
+	}
+	snap := Counters{
+		Injected:  total.injected,
+		Delivered: total.delivered,
+		Forwarded: total.forwarded,
+		Drops:     make(map[DropReason]uint64, numDropReasons),
+	}
+	for i, v := range total.drops {
+		if v != 0 {
+			snap.Drops[dropReasons[i]] = v
+		}
 	}
 	return snap
 }
 
-func (n *Network) drop(_ *Packet, why DropReason) {
-	if n.count.Drops == nil {
-		n.count.Drops = make(map[DropReason]uint64)
-	}
-	n.count.Drops[why]++
+// dropAt counts a drop charged to the node where it happened.
+func (n *Network) dropAt(nd *Node, why DropReason) {
+	n.countersFor(nd).drops[dropIndex(why)]++
 }
 
 // NewNode adds a node. A nil cpu means an infinitely fast node (hosts,
 // ideal switches).
 func (n *Network) NewNode(name string, cpu *CPUConfig) *Node {
+	if n.parts != nil {
+		panic("netsim: cannot add nodes to a partitioned network")
+	}
+	id := NodeID(len(n.nodes))
 	nd := &Node{
-		ID:   NodeID(len(n.nodes)),
+		ID:   id,
 		Name: name,
 		net:  n,
 		FIB:  make(map[NodeID]Egress),
+		// A per-node stream: the (node, arrival) → draw mapping is then
+		// independent of global event interleaving, which keeps loss
+		// patterns identical across partition counts.
+		rnd: rng.New(n.seed ^ (int64(id)+1)*0x9E3779B9),
 	}
 	if cpu != nil {
 		nd.CPU = newCPU(nd, *cpu)
@@ -187,26 +290,73 @@ func (n *Network) TopologyVersion() uint64 { return n.topoVer }
 // bumpTopology invalidates topology-derived caches.
 func (n *Network) bumpTopology() { n.topoVer++ }
 
-// NewPacket allocates a packet with a fresh ID and the current timestamp.
+// NewPacket allocates a packet with a fresh id and the current timestamp.
+// Ids are drawn from the source node's counter (high bits node, low bits
+// per-node sequence) so id assignment commutes across partitions. A src
+// outside the node table (tests injecting phantom senders) falls back to
+// a network-level counter in a reserved id range.
 func (n *Network) NewPacket(kind Kind, src, dst NodeID, size int) *Packet {
-	n.pktID++
-	return &Packet{
-		ID:      n.pktID,
-		Kind:    kind,
-		Src:     src,
-		Dst:     dst,
-		Size:    size,
-		TTL:     64,
-		Created: n.Sim.Now(),
+	pkt := &Packet{
+		Kind: kind,
+		Src:  src,
+		Dst:  dst,
+		Size: size,
+		TTL:  64,
 	}
+	if int(src) >= 0 && int(src) < len(n.nodes) {
+		nd := n.nodes[src]
+		nd.pktSeq++
+		pkt.ID = (uint64(src)+1)<<38 | nd.pktSeq
+		pkt.Created = nd.Now()
+	} else {
+		n.phantomPktSeq++
+		pkt.ID = uint64(1)<<63 | n.phantomPktSeq
+		pkt.Created = n.Now()
+	}
+	return pkt
 }
 
 // Inject introduces a packet at its source node as if generated locally,
-// routing it toward pkt.Dst.
+// routing it toward pkt.Dst. In a partitioned run it must be called from
+// the source node's partition (i.e. from an event scheduled at a node the
+// same partition owns) or during single-threaded setup.
 func (n *Network) Inject(pkt *Packet) {
-	n.count.Injected++
-	n.Node(pkt.Src).route(pkt)
+	src := n.Node(pkt.Src)
+	n.countersFor(src).injected++
+	src.route(pkt)
 }
 
-// RunUntil advances the simulation to the horizon.
-func (n *Network) RunUntil(t float64) { n.Sim.RunUntil(t) }
+// SetObserver installs a kernel observer on every simulator this network
+// runs on (the root simulator and every partition's). In a partitioned
+// run the observer is invoked concurrently from all partition goroutines,
+// so implementations must be safe for concurrent use — the runner's
+// atomic metrics observer is.
+func (n *Network) SetObserver(obs des.Observer) {
+	n.obs = obs
+	n.Sim.SetObserver(obs)
+	for _, p := range n.parts {
+		p.sim.SetObserver(obs)
+	}
+}
+
+// Now returns the current simulation time: the root clock, or — in a
+// partitioned network — the first partition's clock. Outside Run all
+// partition clocks agree (RunUntil leaves every clock at the horizon), so
+// this is well-defined whenever user code can observe it.
+func (n *Network) Now() float64 {
+	if len(n.parts) > 0 {
+		return n.parts[0].sim.Now()
+	}
+	return n.Sim.Now()
+}
+
+// RunUntil advances the simulation to the horizon: sequentially on the
+// root simulator, or — after Partition — by conservative bounded-window
+// parallel execution across the partitions.
+func (n *Network) RunUntil(t float64) {
+	if len(n.parts) > 0 {
+		n.runPartitioned(t)
+		return
+	}
+	n.Sim.RunUntil(t)
+}

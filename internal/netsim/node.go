@@ -1,6 +1,11 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"routesync/internal/des"
+	"routesync/internal/rng"
+)
 
 // Broadcast is the link-layer destination meaning "every member of the
 // medium" (used for routing updates on a LAN).
@@ -55,10 +60,31 @@ type Node struct {
 	LossProb float64
 
 	media []Medium
-	stats NodeStats
+	stats nodeCount
+
+	// rnd is the node's private random stream (per-arrival loss draws).
+	rnd *rng.Source
+	// part is the owning logical process, nil while unpartitioned.
+	part *partition
+	// evSeq numbers events this node originates; with the node id it
+	// forms the des scheduling key, so the same-timestamp fire order is
+	// (origin node, origin sequence) under any partitioning.
+	evSeq uint64
+	// pktSeq numbers packets created at this node (see NewPacket).
+	pktSeq uint64
 }
 
-// NodeStats is per-node packet accounting.
+// nodeCount is the node's internal accounting block; drop reasons are a
+// fixed array (see dropIndex) so the arrival path never allocates.
+type nodeCount struct {
+	received       uint64
+	deliveredLocal uint64
+	forwardedOut   uint64
+	routingIn      uint64
+	dropped        [numDropReasons]uint64
+}
+
+// NodeStats is a per-node packet accounting snapshot.
 type NodeStats struct {
 	// Received counts packets handed to this node by any medium.
 	Received uint64
@@ -74,20 +100,24 @@ type NodeStats struct {
 
 // Stats returns a snapshot of the node's counters.
 func (nd *Node) Stats() NodeStats {
-	snap := nd.stats
-	snap.Dropped = make(map[DropReason]uint64, len(nd.stats.Dropped))
-	for k, v := range nd.stats.Dropped {
-		snap.Dropped[k] = v
+	snap := NodeStats{
+		Received:       nd.stats.received,
+		DeliveredLocal: nd.stats.deliveredLocal,
+		ForwardedOut:   nd.stats.forwardedOut,
+		RoutingIn:      nd.stats.routingIn,
+		Dropped:        make(map[DropReason]uint64, numDropReasons),
+	}
+	for i, v := range nd.stats.dropped {
+		if v != 0 {
+			snap.Dropped[dropReasons[i]] = v
+		}
 	}
 	return snap
 }
 
 func (nd *Node) dropHere(pkt *Packet, why DropReason) {
-	if nd.stats.Dropped == nil {
-		nd.stats.Dropped = make(map[DropReason]uint64)
-	}
-	nd.stats.Dropped[why]++
-	nd.net.drop(pkt, why)
+	nd.stats.dropped[dropIndex(why)]++
+	nd.net.dropAt(nd, why)
 }
 
 // Net returns the owning network.
@@ -95,6 +125,45 @@ func (nd *Node) Net() *Network { return nd.net }
 
 // String returns "name(id)".
 func (nd *Node) String() string { return fmt.Sprintf("%s(%d)", nd.Name, nd.ID) }
+
+// sim returns the simulator this node's events run on: its partition's,
+// or the network root while unpartitioned.
+func (nd *Node) sim() *des.Simulator {
+	if nd.part != nil {
+		return nd.part.sim
+	}
+	return nd.net.Sim
+}
+
+// Now returns the node's current simulation time (its logical process's
+// clock in a partitioned run).
+func (nd *Node) Now() float64 { return nd.sim().Now() }
+
+// nextKey draws the node's next event-ordering key: node id in the high
+// bits, a per-node sequence below. Keys are globally unique, so (time,
+// key) totally orders netsim events — the order cannot depend on which
+// simulator an event was inserted into, or when.
+func (nd *Node) nextKey() uint64 {
+	nd.evSeq++
+	return (uint64(nd.ID)+1)<<38 | nd.evSeq
+}
+
+// Schedule queues fn at absolute time at, keyed and clocked by this node.
+// All netsim-driven events — timers, workload injections, protocol work —
+// must be scheduled through a node (not the raw root simulator) to stay
+// deterministic under partitioning.
+func (nd *Node) Schedule(at float64, label string, fn func()) des.Event {
+	return nd.sim().ScheduleKeyed(at, nd.nextKey(), label, fn)
+}
+
+// After queues fn delay seconds from the node's now, keyed by this node.
+func (nd *Node) After(delay float64, label string, fn func()) des.Event {
+	s := nd.sim()
+	return s.ScheduleKeyed(s.Now()+delay, nd.nextKey(), label, fn)
+}
+
+// Cancel removes an event previously scheduled via this node.
+func (nd *Node) Cancel(e des.Event) bool { return nd.sim().Cancel(e) }
 
 // attachMedium registers a medium the node is connected to.
 func (nd *Node) attachMedium(m Medium) {
@@ -127,11 +196,11 @@ func (nd *Node) SendOn(m Medium, to NodeID, pkt *Packet) {
 // receive is the arrival path: every packet handed to this node by a
 // medium lands here.
 func (nd *Node) receive(pkt *Packet, via Medium) {
-	nd.stats.Received++
+	nd.stats.received++
 	if pkt.RecordRoute {
-		pkt.Hops = append(pkt.Hops, Hop{Node: nd.ID, At: nd.net.Sim.Now()})
+		pkt.Hops = append(pkt.Hops, Hop{Node: nd.ID, At: nd.Now()})
 	}
-	if nd.LossProb > 0 && nd.net.Rand.Bernoulli(nd.LossProb) {
+	if nd.LossProb > 0 && nd.rnd.Bernoulli(nd.LossProb) {
 		nd.dropHere(pkt, DropRandomLoss)
 		return
 	}
@@ -139,12 +208,12 @@ func (nd *Node) receive(pkt *Packet, via Medium) {
 		// Routing packets go to the agent regardless of CPU state — the
 		// router must process them (that processing is exactly what
 		// occupies the CPU).
-		nd.stats.RoutingIn++
+		nd.stats.routingIn++
 		if nd.OnRouting != nil {
 			nd.OnRouting(pkt, via)
 			return
 		}
-		nd.net.count.Delivered++
+		nd.net.countersFor(nd).delivered++
 		return
 	}
 	if nd.CPU != nil && nd.CPU.BlocksForwarding() {
@@ -167,8 +236,8 @@ func (nd *Node) dispatch(pkt *Packet) {
 }
 
 func (nd *Node) deliverLocal(pkt *Packet) {
-	nd.net.count.Delivered++
-	nd.stats.DeliveredLocal++
+	nd.net.countersFor(nd).delivered++
+	nd.stats.deliveredLocal++
 	if fn, ok := nd.OnDeliver[pkt.Kind]; ok {
 		fn(pkt)
 	}
@@ -186,8 +255,8 @@ func (nd *Node) forward(pkt *Packet) {
 		nd.dropHere(pkt, DropNoRoute)
 		return
 	}
-	nd.net.count.Forwarded++
-	nd.stats.ForwardedOut++
+	nd.net.countersFor(nd).forwarded++
+	nd.stats.forwardedOut++
 	eg.Via.Transmit(pkt, nd, eg.NextHop)
 }
 
@@ -200,7 +269,9 @@ func (nd *Node) route(pkt *Packet) {
 	}
 	eg, ok := nd.FIB[pkt.Dst]
 	if !ok {
-		nd.net.drop(pkt, DropNoRoute)
+		// Counted network-wide but not against the node: the packet never
+		// traversed the forwarding path.
+		nd.net.dropAt(nd, DropNoRoute)
 		return
 	}
 	eg.Via.Transmit(pkt, nd, eg.NextHop)

@@ -1,0 +1,243 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"routesync/internal/des"
+)
+
+// This file implements conservative parallel execution for the network
+// simulator: the topology is split into K logical processes (LPs), each
+// owning a subset of nodes and running its own des.Simulator, and the LPs
+// advance together in bounded time windows (a barrier/YAWNS-style
+// scheme). The propagation Delay of every cross-partition link is the
+// lookahead: a packet transmitted during a window [W, W+L) cannot arrive
+// at another LP before W+L, so each LP may run the whole window without
+// hearing from its peers, and boundary arrivals are exchanged at the
+// barrier.
+//
+// Determinism: every event carries a (origin node, origin sequence) key
+// (see Node.nextKey) and des orders equal-time events by key, so the
+// execution order inside any LP is a pure function of the simulated
+// system — boundary arrivals injected at a barrier order exactly as the
+// same arrivals scheduled directly in a sequential run. Random draws,
+// packet ids and counters are all per-node or per-partition, so a
+// partitioned run is bit-identical to the sequential run for any K.
+
+// boundaryEvent is a packet arrival whose receiver is owned by another
+// logical process. It carries the des ordering key drawn at transmission
+// time, so the receiving LP schedules it exactly as a sequential run
+// would have.
+type boundaryEvent struct {
+	at   float64
+	key  uint64
+	pkt  *Packet
+	dst  *Node
+	link *Link
+}
+
+// partition is one logical process: a node subset on a private simulator
+// with private counters and a private outbox of boundary arrivals.
+type partition struct {
+	idx   int
+	sim   *des.Simulator
+	nodes []*Node
+	count counterSet
+	// outbox collects boundary arrivals produced while this partition
+	// executes a window; only this partition's goroutine (or the
+	// single-threaded setup phase) appends, and only the coordinator
+	// drains it, strictly after the window barrier.
+	outbox []boundaryEvent
+}
+
+func (p *partition) send(e boundaryEvent) { p.outbox = append(p.outbox, e) }
+
+// Partition splits the network into k logical processes. owner maps every
+// node id to its partition index in [0, k). It must be called after the
+// topology is built but before any events are scheduled; agents and
+// workloads attached afterwards schedule through their nodes and land on
+// the owning partition's simulator automatically.
+//
+// Constraints checked here:
+//   - every LAN must be wholly inside one partition (broadcast delivery
+//     is synchronous within a segment);
+//   - every link between partitions must have Delay > 0 — that delay is
+//     the lookahead the parallel advance is built on.
+func (n *Network) Partition(k int, owner func(NodeID) int) {
+	if k < 1 {
+		panic("netsim: Partition needs k >= 1")
+	}
+	if n.parts != nil {
+		panic("netsim: network is already partitioned")
+	}
+	if n.Sim.Pending() > 0 {
+		panic("netsim: Partition called with events already scheduled; partition before attaching agents and workloads")
+	}
+	parts := make([]*partition, k)
+	for i := range parts {
+		sim := des.NewBackend(n.Sim.Backend())
+		if n.obs != nil {
+			sim.SetObserver(n.obs)
+		}
+		parts[i] = &partition{idx: i, sim: sim}
+	}
+	for _, nd := range n.nodes {
+		o := owner(nd.ID)
+		if o < 0 || o >= k {
+			panic(fmt.Sprintf("netsim: owner(%d) = %d out of range [0,%d)", nd.ID, o, k))
+		}
+		nd.part = parts[o]
+		parts[o].nodes = append(parts[o].nodes, nd)
+	}
+	// Validate media against the assignment and derive the lookahead.
+	lookahead := math.Inf(1)
+	seen := make(map[Medium]bool)
+	for _, nd := range n.nodes {
+		for _, m := range nd.media {
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+			switch med := m.(type) {
+			case *Link:
+				if med.ends[0].part != med.ends[1].part {
+					if med.cfg.Delay <= 0 {
+						panic(fmt.Sprintf("netsim: link %v—%v crosses partitions with zero delay; boundary links need Delay > 0 for lookahead",
+							med.ends[0], med.ends[1]))
+					}
+					if med.cfg.Delay < lookahead {
+						lookahead = med.cfg.Delay
+					}
+				}
+			case *LAN:
+				p0 := med.members[0].part
+				for _, mem := range med.members[1:] {
+					if mem.part != p0 {
+						panic(fmt.Sprintf("netsim: LAN spans partitions (members %v and %v); keep each LAN inside one partition",
+							med.members[0], mem))
+					}
+				}
+			}
+		}
+	}
+	n.parts = parts
+	n.lookahead = lookahead
+}
+
+// NumPartitions returns the number of logical processes (0 while
+// unpartitioned).
+func (n *Network) NumPartitions() int { return len(n.parts) }
+
+// PartitionOf returns the partition index owning the node, or -1 while
+// unpartitioned.
+func (n *Network) PartitionOf(id NodeID) int {
+	nd := n.Node(id)
+	if nd.part == nil {
+		return -1
+	}
+	return nd.part.idx
+}
+
+// Lookahead returns the conservative synchronization window: the minimum
+// propagation delay across partition-crossing links (+Inf when no link
+// crosses, i.e. the partitions are independent).
+func (n *Network) Lookahead() float64 { return n.lookahead }
+
+// exchange drains every partition's outbox into the receiving partitions'
+// simulators. Called only from the coordinator, strictly between windows
+// (or during single-threaded setup/teardown), so no partition goroutine
+// is running. Insertion order is irrelevant: the carried keys give
+// boundary arrivals their sequential-run order.
+func (n *Network) exchange() {
+	for _, p := range n.parts {
+		for i := range p.outbox {
+			e := p.outbox[i]
+			e.dst.part.sim.ScheduleKeyed(e.at, e.key, "boundary-arrival", func() {
+				e.link.deliverTo(e.dst, e.pkt)
+			})
+		}
+		p.outbox = p.outbox[:0]
+	}
+}
+
+// runPartitioned advances all logical processes to the horizon with
+// bounded-window barrier synchronization.
+func (n *Network) runPartitioned(horizon float64) {
+	if n.Sim.Pending() > 0 {
+		panic("netsim: events pending on the root simulator of a partitioned network; schedule runtime events through nodes")
+	}
+	// Boundary arrivals produced at the very end of a previous call (by
+	// events firing exactly at that call's horizon) are still in the
+	// outboxes; deliver them before planning windows.
+	n.exchange()
+
+	if len(n.parts) == 1 {
+		// One LP: no boundaries, no goroutines — this is exactly the
+		// sequential execution on a private simulator.
+		n.parts[0].sim.RunUntil(horizon)
+		return
+	}
+
+	// One worker goroutine per partition for the whole call; each window
+	// is a start-signal/done-wait round trip. The coordinator writes
+	// wend/inclusive before signalling, which the channel send orders
+	// ahead of the worker's read.
+	type windowCmd struct {
+		wend      float64
+		inclusive bool
+	}
+	var done sync.WaitGroup
+	starts := make([]chan windowCmd, len(n.parts))
+	for i, p := range n.parts {
+		starts[i] = make(chan windowCmd)
+		go func(p *partition, start <-chan windowCmd) {
+			for cmd := range start {
+				if cmd.inclusive {
+					p.sim.RunUntil(cmd.wend)
+				} else {
+					p.sim.RunBefore(cmd.wend)
+				}
+				done.Done()
+			}
+		}(p, starts[i])
+	}
+	runWindow := func(wend float64, inclusive bool) {
+		done.Add(len(n.parts))
+		for _, c := range starts {
+			c <- windowCmd{wend: wend, inclusive: inclusive}
+		}
+		done.Wait()
+	}
+
+	for {
+		// The next window starts at the globally earliest pending event.
+		next := math.Inf(1)
+		for _, p := range n.parts {
+			if at := p.sim.NextAt(); at < next {
+				next = at
+			}
+		}
+		if next >= horizon {
+			break
+		}
+		wend := horizon
+		if w := next + n.lookahead; w < horizon {
+			wend = w
+		}
+		// Strictly-before execution: an event exactly at wend must order
+		// against boundary arrivals landing at wend, which are only
+		// delivered at the barrier below.
+		runWindow(wend, false)
+		n.exchange()
+	}
+	// Inclusive pass: execute events exactly at the horizon and leave
+	// every clock there. Boundary arrivals they produce land at
+	// > horizon (positive delay) and stay queued for the next call.
+	runWindow(horizon, true)
+	for _, c := range starts {
+		close(c)
+	}
+	n.exchange()
+}

@@ -1,0 +1,148 @@
+package netsim
+
+import "fmt"
+
+// This file generates the larger topologies behind the scale experiments
+// (the paper's §2 measurement setting is many routers exchanging periodic
+// updates across a real internetwork): regular grids and two-level
+// AS-like graphs, plus owner functions that map them onto partitions for
+// conservative parallel execution.
+
+// BuildGrid creates a rows×cols mesh of nodes connected by identical
+// links (4-neighborhood). cpus[i] configures node i (nil or short slice:
+// no CPU). Static routes are NOT installed — grids exist for scale runs,
+// which route selectively. Returns the nodes in row-major order.
+func (n *Network) BuildGrid(rows, cols int, cpus []*CPUConfig, link LinkConfig) []*Node {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		panic("netsim: a grid needs at least two nodes")
+	}
+	nodes := make([]*Node, rows*cols)
+	for i := range nodes {
+		var cpu *CPUConfig
+		if i < len(cpus) {
+			cpu = cpus[i]
+		}
+		nodes[i] = n.NewNode(fmt.Sprintf("g%d.%d", i/cols, i%cols), cpu)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			if c+1 < cols {
+				n.Connect(nodes[i], nodes[i+1], link)
+			}
+			if r+1 < rows {
+				n.Connect(nodes[i], nodes[i+cols], link)
+			}
+		}
+	}
+	return nodes
+}
+
+// TwoLevelASConfig parameterizes BuildTwoLevelAS.
+type TwoLevelASConfig struct {
+	// NumAS is the number of autonomous-system-like domains.
+	NumAS int
+	// RoutersPerAS is the number of routers inside each domain.
+	RoutersPerAS int
+	// IntraLink configures links inside a domain (a ring plus chords).
+	IntraLink LinkConfig
+	// InterLink configures the backbone links between domain gateways; it
+	// must have Delay > 0 when the build is partitioned along domain
+	// boundaries (the delay is the synchronization lookahead).
+	InterLink LinkConfig
+	// CPU configures every router's CPU; nil means no CPU model.
+	CPU *CPUConfig
+	// Chords adds this many deterministic shortcut chords inside each
+	// domain (0 keeps pure rings).
+	Chords int
+}
+
+// TwoLevelAS is the built topology: Routers[a][i] is router i of domain
+// a; Gateways[a] is the router of domain a on the inter-domain backbone
+// (its router 0). The backbone is a ring over the gateways plus skip
+// links every 4 domains for shorter inter-domain paths.
+type TwoLevelAS struct {
+	Routers  [][]*Node
+	Gateways []*Node
+}
+
+// BuildTwoLevelAS creates an AS-like two-level graph: NumAS domains of
+// RoutersPerAS routers each (a ring plus Chords shortcut chords), joined
+// by a backbone ring over the per-domain gateways. The layout is fully
+// deterministic. No routes are installed and no CPU-free hosts are added;
+// callers attach agents, hosts and workloads.
+//
+// Node ids are dense per domain — domain a owns ids [a·RoutersPerAS,
+// (a+1)·RoutersPerAS) — which is what OwnerByBlock exploits to partition
+// along domain boundaries without splitting a domain.
+func (n *Network) BuildTwoLevelAS(cfg TwoLevelASConfig) *TwoLevelAS {
+	if cfg.NumAS < 1 || cfg.RoutersPerAS < 1 || cfg.NumAS*cfg.RoutersPerAS < 2 {
+		panic("netsim: BuildTwoLevelAS needs at least two routers")
+	}
+	t := &TwoLevelAS{
+		Routers:  make([][]*Node, cfg.NumAS),
+		Gateways: make([]*Node, cfg.NumAS),
+	}
+	for a := 0; a < cfg.NumAS; a++ {
+		rs := make([]*Node, cfg.RoutersPerAS)
+		for i := range rs {
+			rs[i] = n.NewNode(fmt.Sprintf("as%d.r%d", a, i), cfg.CPU)
+		}
+		// Ring inside the domain.
+		if cfg.RoutersPerAS > 1 {
+			for i := 0; i+1 < len(rs); i++ {
+				n.Connect(rs[i], rs[i+1], cfg.IntraLink)
+			}
+			if len(rs) > 2 {
+				n.Connect(rs[len(rs)-1], rs[0], cfg.IntraLink)
+			}
+		}
+		// Deterministic chords: i — (i + span) with span ~ half the ring,
+		// starting points spread around it.
+		span := cfg.RoutersPerAS/2 + 1
+		for c := 0; c < cfg.Chords; c++ {
+			i := (c * 2) % cfg.RoutersPerAS
+			j := (i + span) % cfg.RoutersPerAS
+			if i != j {
+				n.Connect(rs[i], rs[j], cfg.IntraLink)
+			}
+		}
+		t.Routers[a] = rs
+		t.Gateways[a] = rs[0]
+	}
+	// Backbone: gateway ring plus skip links every 4 domains.
+	if cfg.NumAS > 1 {
+		for a := 0; a+1 < cfg.NumAS; a++ {
+			n.Connect(t.Gateways[a], t.Gateways[a+1], cfg.InterLink)
+		}
+		if cfg.NumAS > 2 {
+			n.Connect(t.Gateways[cfg.NumAS-1], t.Gateways[0], cfg.InterLink)
+		}
+		for a := 0; a+4 < cfg.NumAS; a += 4 {
+			n.Connect(t.Gateways[a], t.Gateways[a+4], cfg.InterLink)
+		}
+	}
+	return t
+}
+
+// OwnerByBlock returns an owner function assigning node ids to k
+// partitions in contiguous blocks of the given size: ids [0, blockSize)
+// share a partition, and blocks are dealt round-robin-free — block b goes
+// to partition b·k/numBlocks — so partitions get contiguous runs of
+// blocks and cross-partition edges are minimized for block-local
+// topologies (BuildTwoLevelAS domains, grid rows).
+//
+// Nodes created after the blocked range (measurement hosts appended at
+// the end) land with the final block.
+func OwnerByBlock(blockSize, numBlocks, k int) func(NodeID) int {
+	if blockSize < 1 || numBlocks < 1 || k < 1 {
+		panic("netsim: OwnerByBlock needs positive sizes")
+	}
+	return func(id NodeID) int {
+		b := int(id) / blockSize
+		if b >= numBlocks {
+			b = numBlocks - 1
+		}
+		return b * k / numBlocks
+	}
+}

@@ -20,40 +20,107 @@ func neighbors(nd *Node) []Egress {
 	return out
 }
 
+// adjacency materializes every node's (medium, peer) list once, indexed
+// by node id, so repeated BFS passes don't re-enumerate media.
+func (n *Network) adjacency() [][]Egress {
+	adj := make([][]Egress, len(n.nodes))
+	for i, nd := range n.nodes {
+		adj[i] = neighbors(nd)
+	}
+	return adj
+}
+
 // InstallStaticRoutes fills every node's FIB with shortest-path (hop
 // count) routes computed by breadth-first search over the topology.
 // Experiments that study forwarding behaviour rather than route
 // computation (Figs 1–3) use this instead of running a routing protocol to
 // convergence; the routing protocol's own tests verify it converges to
 // the same routes.
+//
+// The cost is Θ(N·(N+E)) time and Θ(N²) FIB entries, which is fine for
+// figure-scale topologies but not for thousands of routers — large-scale
+// experiments route only toward their measured hosts with
+// InstallRoutesToward instead.
 func (n *Network) InstallStaticRoutes() {
+	// BFS from each source over a pre-built adjacency, with slice-indexed
+	// scratch reused across sources (node ids are dense).
+	type qe struct {
+		node  NodeID
+		first Egress // egress src used to start this branch
+	}
+	adj := n.adjacency()
+	visited := make([]bool, len(n.nodes))
+	queue := make([]qe, 0, len(n.nodes))
 	for _, src := range n.nodes {
-		// BFS from src; record the first hop toward each destination.
-		type qe struct {
-			node  *Node
-			first Egress // egress src used to start this branch
+		for i := range visited {
+			visited[i] = false
 		}
-		visited := make(map[NodeID]bool, len(n.nodes))
+		queue = queue[:0]
 		visited[src.ID] = true
-		var queue []qe
-		for _, eg := range neighbors(src) {
+		for _, eg := range adj[src.ID] {
 			if visited[eg.NextHop] {
 				continue
 			}
 			visited[eg.NextHop] = true
 			src.SetRoute(eg.NextHop, eg.Via, eg.NextHop)
-			queue = append(queue, qe{node: n.Node(eg.NextHop), first: eg})
+			queue = append(queue, qe{node: eg.NextHop, first: eg})
 		}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			for _, eg := range neighbors(cur.node) {
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
+			for _, eg := range adj[cur.node] {
 				if visited[eg.NextHop] {
 					continue
 				}
 				visited[eg.NextHop] = true
 				src.SetRoute(eg.NextHop, cur.first.Via, cur.first.NextHop)
-				queue = append(queue, qe{node: n.Node(eg.NextHop), first: cur.first})
+				queue = append(queue, qe{node: eg.NextHop, first: cur.first})
+			}
+		}
+	}
+}
+
+// InstallRoutesToward installs shortest-path routes from every node
+// toward each of the given destinations only — Θ(D·(N+E)) instead of the
+// all-pairs Θ(N·(N+E)), and Θ(D·N) FIB entries instead of Θ(N²). Used by
+// the large-topology experiments, whose measured traffic flows to a
+// handful of hosts while the routing protocol exercises the full graph.
+//
+// For each destination a reverse BFS labels every node with its
+// distance, and each node routes via its first egress (media order) that
+// decreases the distance. Paths are shortest; among equal-length paths
+// the tie-break is deterministic but may differ from InstallStaticRoutes'
+// branch order.
+func (n *Network) InstallRoutesToward(dests []NodeID) {
+	adj := n.adjacency()
+	dist := make([]int, len(n.nodes))
+	queue := make([]NodeID, 0, len(n.nodes))
+	for _, dst := range dests {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		dist[dst] = 0
+		queue = append(queue, dst)
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
+			for _, eg := range adj[cur] {
+				if dist[eg.NextHop] < 0 {
+					dist[eg.NextHop] = dist[cur] + 1
+					queue = append(queue, eg.NextHop)
+				}
+			}
+		}
+		for _, nd := range n.nodes {
+			if nd.ID == dst || dist[nd.ID] < 0 {
+				continue
+			}
+			// First egress (media order) that decreases the distance — the
+			// same tie-break a forward BFS from nd would pick.
+			for _, eg := range adj[nd.ID] {
+				if dist[eg.NextHop] == dist[nd.ID]-1 {
+					nd.SetRoute(dst, eg.Via, eg.NextHop)
+					break
+				}
 			}
 		}
 	}

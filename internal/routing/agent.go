@@ -175,7 +175,7 @@ func (a *Agent) Start(startOffset float64) {
 	if startOffset < 0 {
 		panic("routing: negative start offset")
 	}
-	now := a.node.Net().Sim.Now()
+	now := a.node.Now()
 	a.table.SetLocal(a.node.ID, now)
 	a.lastExpiry = now + startOffset
 	a.armAt(now + startOffset)
@@ -202,16 +202,15 @@ func (a *Agent) sendRequest() {
 }
 
 func (a *Agent) armAt(at float64) {
-	sim := a.node.Net().Sim
-	a.timerEv = sim.Schedule(at, a.timerLabel, a.onTimer)
+	a.timerEv = a.node.Schedule(at, a.timerLabel, a.onTimer)
 	a.stats.TimerResets++
 	if a.OnTimerReset != nil {
-		a.OnTimerReset(sim.Now(), at)
+		a.OnTimerReset(a.node.Now(), at)
 	}
 }
 
 func (a *Agent) cancelTimer() {
-	a.node.Net().Sim.Cancel(a.timerEv)
+	a.node.Cancel(a.timerEv)
 	a.timerEv = des.Event{}
 }
 
@@ -232,7 +231,7 @@ func (a *Agent) onTimer() {
 	if a.stopped {
 		return
 	}
-	a.lastExpiry = a.node.Net().Sim.Now()
+	a.lastExpiry = a.node.Now()
 	a.sendUpdate(false, true)
 }
 
@@ -267,22 +266,22 @@ func (a *Agent) rearmWhenIdle() {
 	if a.stopped {
 		return
 	}
-	sim := a.node.Net().Sim
 	if a.node.CPU != nil && a.node.CPU.Busy() {
-		sim.Schedule(a.node.CPU.BusyUntil(), "routing-rearm-wait", a.rearmFn)
+		a.node.Schedule(a.node.CPU.BusyUntil(), "routing-rearm-wait", a.rearmFn)
 		return
 	}
 	a.cancelTimer()
 	delay := a.cfg.Jitter.Delay(a.r, int(a.node.ID))
+	now := a.node.Now()
 	var at float64
 	switch a.cfg.TimerMode {
 	case TimerResetOnExpiry:
 		at = a.lastExpiry + delay
-		if at < sim.Now() {
-			at = sim.Now()
+		if at < now {
+			at = now
 		}
 	default:
-		at = sim.Now() + delay
+		at = now + delay
 	}
 	a.armAt(at)
 }
@@ -308,7 +307,7 @@ func (a *Agent) broadcast(triggered bool) {
 		a.stats.PeriodicSent++
 	}
 	if a.OnSend != nil {
-		a.OnSend(net.Sim.Now(), triggered)
+		a.OnSend(a.node.Now(), triggered)
 	}
 }
 
@@ -362,7 +361,7 @@ func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
 // integrate applies a decoded update and reacts: FIB programming,
 // triggered-update propagation.
 func (a *Agent) integrate(msg Message, via netsim.Medium) {
-	now := a.node.Net().Sim.Now()
+	now := a.node.Now()
 	cost := uint32(1)
 	if a.cfg.LinkCost != nil {
 		cost = a.cfg.LinkCost(via)
@@ -393,7 +392,7 @@ func (a *Agent) integrate(msg Message, via netsim.Medium) {
 
 // triggerUpdate sends a rate-limited triggered update.
 func (a *Agent) triggerUpdate() {
-	now := a.node.Net().Sim.Now()
+	now := a.node.Now()
 	if now-a.lastTrig < a.cfg.TriggerHoldoff {
 		return
 	}
@@ -406,12 +405,11 @@ func (a *Agent) scheduleSweep() {
 	if a.stopped {
 		return
 	}
-	sim := a.node.Net().Sim
-	sim.Schedule(sim.Now()+a.cfg.Profile.Period, "routing-sweep", a.sweepFn)
+	a.node.After(a.cfg.Profile.Period, "routing-sweep", a.sweepFn)
 }
 
 func (a *Agent) sweep() {
-	now := a.node.Net().Sim.Now()
+	now := a.node.Now()
 	timeout := a.cfg.Profile.TimeoutFactor * a.cfg.Profile.Period
 	gc := a.cfg.Profile.GCFactor * a.cfg.Profile.Period
 	unreachable, deleted := a.table.Expire(now, timeout, gc)

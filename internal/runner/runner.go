@@ -297,6 +297,9 @@ func Run(opts Options) (*Summary, error) {
 			if err := os.WriteFile(filepath.Join(opts.OutDir, "INDEX.md"), []byte(index.String()), 0o644); err != nil {
 				return sum, err
 			}
+			// Sorted by id so the file diffs cleanly across PRs even when
+			// registration order changes.
+			sort.Slice(perDriver, func(i, j int) bool { return perDriver[i].ID < perDriver[j].ID })
 			tf := TimingsFile{
 				Quick:        opts.Quick,
 				Jobs:         opts.Jobs,

@@ -66,7 +66,7 @@ func (s *AudioStream) Start(at float64) {
 	gap := 1 / s.cfg.Rate
 	for i := 0; i < s.count; i++ {
 		i := i
-		s.net.Sim.Schedule(at+float64(i)*gap, "audio-frame", func() {
+		s.src.Schedule(at+float64(i)*gap, "audio-frame", func() {
 			pkt := s.net.NewPacket(netsim.KindData, s.src.ID, s.dst.ID, s.cfg.Size)
 			pkt.Seq = int64(i)
 			s.net.Inject(pkt)

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"routesync/internal/netsim"
+)
+
+// tracerouteChain builds a 10-node chain, optionally partitioned into k
+// logical processes, and returns the recorded path of a probe from end
+// to end plus its RTT. The chain's links all have positive delay, so any
+// contiguous split is a valid partitioning.
+func tracerouteChain(k int) workloadTraceSnap {
+	n := netsim.NewNetwork(44)
+	names := make([]string, 10)
+	for i := range names {
+		names[i] = "c"
+	}
+	nodes := n.BuildChain(names, nil, netsim.LinkConfig{
+		Delay: 0.004, Bandwidth: 1e6, QueueCap: 8,
+	})
+	if k > 0 {
+		total := len(nodes)
+		n.Partition(k, func(id netsim.NodeID) int { return int(id) * k / total })
+	}
+	res := Traceroute(nodes[0], nodes[len(nodes)-1], 10)
+	return workloadTraceSnap{res: res, now: n.Now()}
+}
+
+type workloadTraceSnap struct {
+	res TracerouteResult
+	now float64
+}
+
+// TestTracerouteAcrossPartitions: a record-route probe whose path crosses
+// several partition boundaries must record exactly the hops (ids and
+// timestamps) of the sequential run — the RecordRoute append happens in
+// whichever LP owns each hop, and the packet carries the slice across.
+func TestTracerouteAcrossPartitions(t *testing.T) {
+	ref := tracerouteChain(0)
+	if !ref.res.Reached || len(ref.res.Hops) != 9 {
+		t.Fatalf("sequential probe: reached=%v hops=%+v", ref.res.Reached, ref.res.Hops)
+	}
+	for _, k := range []int{1, 2, 4, 5} {
+		got := tracerouteChain(k)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("k=%d: traceroute diverges from sequential:\n got %+v\nwant %+v", k, got, ref)
+		}
+	}
+}

@@ -68,18 +68,18 @@ func NewPoissonSource(src, dst *netsim.Node, cfg PoissonConfig) *PoissonSource {
 // Start begins the arrival process at the given absolute time.
 func (p *PoissonSource) Start(at float64) {
 	p.stopAt = at + p.cfg.Duration
-	p.net.Sim.Schedule(at+p.r.Exponential(1/p.cfg.Rate), "poisson-arrival", p.tick)
+	p.src.Schedule(at+p.r.Exponential(1/p.cfg.Rate), "poisson-arrival", p.tick)
 }
 
 func (p *PoissonSource) tick() {
-	now := p.net.Sim.Now()
+	now := p.src.Now()
 	if now >= p.stopAt {
 		return
 	}
 	pkt := p.net.NewPacket(netsim.KindData, p.src.ID, p.dst.ID, p.cfg.Size)
 	p.net.Inject(pkt)
 	p.sent++
-	p.net.Sim.After(p.r.Exponential(1/p.cfg.Rate), "poisson-arrival", p.tick)
+	p.src.After(p.r.Exponential(1/p.cfg.Rate), "poisson-arrival", p.tick)
 }
 
 // Sent returns the packets injected so far.

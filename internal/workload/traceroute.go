@@ -34,12 +34,14 @@ func Traceroute(src, dst *netsim.Node, horizon float64) TracerouteResult {
 	if src.OnDeliver == nil {
 		src.OnDeliver = make(map[netsim.Kind]func(*netsim.Packet))
 	}
-	sentAt := net.Sim.Now()
+	sentAt := src.Now()
 	src.OnDeliver[netsim.KindEchoReply] = func(pkt *netsim.Packet) {
 		if pkt.Seq != -42 {
 			return
 		}
-		res.RTT = net.Sim.Now() - sentAt
+		// The node clock, not the network clock: in a partitioned run this
+		// handler fires on src's logical process.
+		res.RTT = src.Now() - sentAt
 	}
 
 	probe := net.NewPacket(netsim.KindEchoRequest, src.ID, dst.ID, 64)
@@ -57,7 +59,7 @@ func Traceroute(src, dst *netsim.Node, horizon float64) TracerouteResult {
 		}
 	}
 	net.Inject(probe)
-	net.RunUntil(net.Sim.Now() + horizon)
+	net.RunUntil(net.Now() + horizon)
 	res.Reached = gotThere
 	return res
 }

@@ -137,7 +137,7 @@ func NewPinger(src, dst *netsim.Node, cfg PingConfig) *Pinger {
 		if seq < 0 || seq >= cfg.Count {
 			return
 		}
-		t := p.net.Sim.Now() - p.sent[seq]
+		t := p.src.Now() - p.sent[seq]
 		if t <= cfg.Timeout && math.IsNaN(p.rtt[seq]) {
 			p.rtt[seq] = t
 		}
@@ -150,8 +150,8 @@ func (p *Pinger) Start(at float64) {
 	for i := 0; i < p.cfg.Count; i++ {
 		i := i
 		when := at + float64(i)*p.cfg.Interval
-		p.net.Sim.Schedule(when, "ping", func() {
-			p.sent[i] = p.net.Sim.Now()
+		p.src.Schedule(when, "ping", func() {
+			p.sent[i] = p.src.Now()
 			pkt := p.net.NewPacket(netsim.KindEchoRequest, p.src.ID, p.dst.ID, p.cfg.Size)
 			pkt.Seq = int64(i)
 			p.net.Inject(pkt)
