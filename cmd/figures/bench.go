@@ -16,7 +16,7 @@ import (
 // benchFileName is this PR's entry in the benchmark trajectory; the
 // number advances with the PR sequence so successive snapshots sit side
 // by side in out/.
-const benchFileName = "BENCH_0005.json"
+const benchFileName = "BENCH_0006.json"
 
 // benchResult is one micro-benchmark measurement.
 type benchResult struct {
@@ -75,6 +75,9 @@ func runBench(outDir string) error {
 		{"NetsimScale/N=5000/K=1", func(b *testing.B) { bench.NetsimScale(b, 5000, 1) }},
 		{"NetsimScale/N=5000/K=2", func(b *testing.B) { bench.NetsimScale(b, 5000, 2) }},
 		{"NetsimScale/N=5000/K=8", func(b *testing.B) { bench.NetsimScale(b, 5000, 8) }},
+		{"NetsimChurn/K=1", func(b *testing.B) { bench.NetsimChurn(b, 1) }},
+		{"NetsimChurn/K=2", func(b *testing.B) { bench.NetsimChurn(b, 2) }},
+		{"NetsimChurn/K=6", func(b *testing.B) { bench.NetsimChurn(b, 6) }},
 	}
 	bf := benchFile{
 		GoVersion: runtime.Version(),

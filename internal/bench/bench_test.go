@@ -69,3 +69,9 @@ func BenchmarkNetsimScale(b *testing.B) {
 		b.Run(fmt.Sprintf("N=500/K=%d", k), func(b *testing.B) { NetsimScale(b, 500, k) })
 	}
 }
+
+func BenchmarkNetsimChurn(b *testing.B) {
+	for _, k := range []int{1, 2, 6} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) { NetsimChurn(b, k) })
+	}
+}

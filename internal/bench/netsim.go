@@ -46,3 +46,20 @@ func NetsimScale(b *testing.B, routers, k int) {
 		sc.Run()
 	}
 }
+
+// NetsimChurn measures one full run of the ext_churn scenario — every
+// router speaking the compressed periodic protocol while the fault layer
+// flaps backbone links and crash/reboots interior routers — on k logical
+// processes. Relative to NetsimScale this adds the fault event layer and
+// the AoI monitor's route-change hooks to the measured region, so the
+// trajectory tracks what failure instrumentation costs the engine.
+func NetsimChurn(b *testing.B, k int) {
+	pol := experiments.ChurnPolicy{Triggered: true, HoldDown: 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sc := experiments.BuildChurn(6, 8, k, 1, 40, pol, 120, nil)
+		b.StartTimer()
+		sc.Run()
+	}
+}

@@ -254,6 +254,16 @@ func registerFigures(reg *runner.Registry) {
 		}
 		return ExtNetScale(cfg)
 	})
+	fig(reg, "ext_churn", runner.CostExpensive, func(spec *runner.Spec) *Result {
+		cfg := ChurnConfig{Jobs: spec.Jobs, Seed: 1, Obs: spec.DESObserver()}
+		if spec.Quick {
+			cfg.NumAS = 4
+			cfg.RoutersPerAS = 6
+			cfg.MeanUps = []float64{60, 30}
+			cfg.Horizon = 220
+		}
+		return ExtChurn(cfg)
+	})
 	fig(reg, "ext_largen", runner.CostExpensive, func(spec *runner.Spec) *Result {
 		ns, rounds := []int(nil), 0
 		if spec.Quick {

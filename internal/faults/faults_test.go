@@ -1,0 +1,242 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"routesync/internal/jitter"
+	"routesync/internal/netsim"
+	"routesync/internal/routing"
+)
+
+// compressedProfile is a RIP-like profile shrunk so flap cycles and
+// recovery fit short test runs: 5 s period, 15 s timeout, 25 s GC.
+func compressedProfile(holdDown float64) routing.Profile {
+	return routing.Profile{
+		Name: "test", Period: 5, Infinity: 16,
+		TimeoutFactor: 3, GCFactor: 5,
+		TriggeredUpdates: true, SplitHorizon: true,
+		HoldDown: holdDown,
+	}
+}
+
+func linkBetween(a, b *netsim.Node) *netsim.Link {
+	for _, m := range a.Media() {
+		if l, ok := m.(*netsim.Link); ok && l.Peer(a) == b {
+			return l
+		}
+	}
+	panic("no link between nodes")
+}
+
+// TestFlapTimelineDeterministic: the materialized timeline is a pure
+// function of (seed, target identity) — install order does not matter,
+// and equal seeds reproduce it exactly.
+func TestFlapTimelineDeterministic(t *testing.T) {
+	build := func(order []int) []Event {
+		n := netsim.NewNetwork(1)
+		a := n.NewNode("a", nil)
+		b := n.NewNode("b", nil)
+		c := n.NewNode("c", nil)
+		ab := n.Connect(a, b, netsim.LinkConfig{Delay: 0.01})
+		bc := n.Connect(b, c, netsim.LinkConfig{Delay: 0.01})
+		links := []*netsim.Link{ab, bc}
+		in := NewInjector(n, 42)
+		cfg := FlapConfig{MeanUp: 30, MeanDown: 10, Start: 5, Horizon: 300}
+		for _, i := range order {
+			in.FlapLink(links[i], cfg)
+		}
+		return in.Timeline()
+	}
+	fwd := build([]int{0, 1})
+	rev := build([]int{1, 0})
+	if len(fwd) == 0 {
+		t.Fatal("empty flap timeline")
+	}
+	if !reflect.DeepEqual(stripLinks(fwd), stripLinks(rev)) {
+		t.Fatalf("timeline depends on install order:\n fwd %+v\n rev %+v", stripLinks(fwd), stripLinks(rev))
+	}
+	// Alternating down/up per link, strictly increasing times per link.
+	perNode := map[netsim.NodeID][]Event{}
+	for _, e := range fwd {
+		perNode[e.Node] = append(perNode[e.Node], e)
+	}
+	for id, evs := range perNode {
+		for i, e := range evs {
+			wantKind := LinkDown
+			if i%2 == 1 {
+				wantKind = LinkUp
+			}
+			if e.Kind != wantKind {
+				t.Fatalf("link %d event %d: kind %v, want %v", id, i, e.Kind, wantKind)
+			}
+			if i > 0 && e.At <= evs[i-1].At {
+				t.Fatalf("link %d timeline not increasing: %v", id, evs)
+			}
+		}
+	}
+	// FailureTimes: sorted, only the down/crash instants.
+	ts := func() []float64 {
+		n := netsim.NewNetwork(1)
+		a := n.NewNode("a", nil)
+		b := n.NewNode("b", nil)
+		l := n.Connect(a, b, netsim.LinkConfig{Delay: 0.01})
+		in := NewInjector(n, 42)
+		in.FlapLink(l, FlapConfig{MeanUp: 30, MeanDown: 10, Start: 5, Horizon: 300})
+		return in.FailureTimes()
+	}()
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("FailureTimes not strictly increasing: %v", ts)
+		}
+	}
+}
+
+func stripLinks(evs []Event) []Event {
+	out := append([]Event(nil), evs...)
+	for i := range out {
+		out[i].Link = nil
+	}
+	return out
+}
+
+// TestCrashRebootRecovery: a crashed middle router loses its volatile
+// state and drops packets; on reboot with RequestOnStart it repopulates
+// its table from a neighbor answer instead of waiting out the periodic
+// timers, and end-to-end forwarding resumes.
+func TestCrashRebootRecovery(t *testing.T) {
+	n := netsim.NewNetwork(9)
+	a := n.NewNode("a", nil)
+	b := n.NewNode("b", nil)
+	c := n.NewNode("c", nil)
+	n.Connect(a, b, netsim.LinkConfig{Delay: 0.01})
+	n.Connect(b, c, netsim.LinkConfig{Delay: 0.01})
+	cfg := routing.Config{
+		Profile:        compressedProfile(0),
+		Jitter:         jitter.HalfSpread{Tp: 5},
+		RequestOnStart: true,
+		Seed:           3,
+	}
+	var agents []*routing.Agent
+	for i, nd := range []*netsim.Node{a, b, c} {
+		ag := routing.NewAgent(nd, cfg)
+		ag.Start(0.2 + 0.4*float64(i))
+		agents = append(agents, ag)
+	}
+	mid := agents[1]
+	in := NewInjector(n, 1)
+	in.CrashAgent(mid, 30)
+	in.RebootAgent(mid, 40, 0.3)
+	n.RunUntil(30.5)
+	if !mid.Node().Failed() {
+		t.Fatal("node not failed after CrashAgent fired")
+	}
+	if got := mid.Table().Len(); got != 0 {
+		t.Fatalf("crashed agent still holds %d routes", got)
+	}
+	if len(mid.Node().FIB) != 0 {
+		t.Fatal("crashed agent still holds FIB entries")
+	}
+	reqs := mid.Stats().RequestsSent
+	// Reboot at 40; RequestOnStart pulls the neighbor tables immediately,
+	// so recovery completes far faster than a 15 s route timeout.
+	n.RunUntil(42)
+	if mid.Node().Failed() {
+		t.Fatal("node still failed after reboot")
+	}
+	if mid.Stats().RequestsSent != reqs+1 {
+		t.Fatalf("reboot sent %d requests, want exactly one more than %d", mid.Stats().RequestsSent, reqs)
+	}
+	if r := mid.Table().Get(c.ID); r == nil || r.Metric >= 16 {
+		t.Fatalf("mid router did not relearn c within 2 s of reboot: %v", r)
+	}
+	// End-to-end proof: a → c across the rebooted router.
+	got := 0
+	c.OnDeliver = map[netsim.Kind]func(*netsim.Packet){
+		netsim.KindData: func(*netsim.Packet) { got++ },
+	}
+	a.Schedule(45, "probe", func() {
+		n.Inject(n.NewPacket(netsim.KindData, a.ID, c.ID, 100))
+	})
+	n.RunUntil(50)
+	if got != 1 {
+		t.Fatal("forwarding across the rebooted router did not resume")
+	}
+	if cnt := n.Counters(); cnt.Drops[netsim.DropNodeDown] == 0 {
+		t.Fatalf("no node-down drops recorded while crashed: %+v", cnt.Drops)
+	}
+	if len(in.Timeline()) != 2 {
+		t.Fatalf("timeline %v, want crash+reboot", in.Timeline())
+	}
+}
+
+// TestMonitorTracksOutage: the monitor sees the loss and recovery edges
+// of a flapped destination, measures a plausible outage duration, never
+// reports a resurrection on a correct hold-down implementation, and
+// samples ages bounded by the update period.
+func TestMonitorTracksOutage(t *testing.T) {
+	n := netsim.NewNetwork(11)
+	mk := func(name string) *netsim.Node { return n.NewNode(name, nil) }
+	a, b, d := mk("a"), mk("b"), mk("d")
+	n.Connect(a, b, netsim.LinkConfig{Delay: 0.01})
+	bd := n.Connect(b, d, netsim.LinkConfig{Delay: 0.01})
+	cfg := routing.Config{Profile: compressedProfile(10), Jitter: jitter.HalfSpread{Tp: 5}, Seed: 8}
+	var agents []*routing.Agent
+	for i, nd := range []*netsim.Node{a, b, d} {
+		ag := routing.NewAgent(nd, cfg)
+		ag.Start(0.1 + 0.3*float64(i))
+		agents = append(agents, ag)
+	}
+	mon := NewMonitor([]netsim.NodeID{d.ID})
+	mon.Observe(agents[0])
+	in := NewInjector(n, 2)
+	in.FailLink(bd, 40)
+	in.RestoreLink(bd, 80)
+	mon.ScheduleSampling(10, 3, 120)
+	mon.SampleAtFailures(in.FailureTimes())
+	n.RunUntil(120)
+
+	outs := mon.Outages()
+	if len(outs) != 1 {
+		t.Fatalf("outages = %+v, want exactly one", outs)
+	}
+	o := outs[0]
+	if o.Router != a.ID || o.Dest != d.ID {
+		t.Fatalf("outage endpoints wrong: %+v", o)
+	}
+	// Lost after the failure plus the 15 s timeout; regained after the
+	// restore.
+	if o.LostAt < 40 || o.LostAt > 65 {
+		t.Errorf("LostAt = %.2f, want within timeout of the failure at 40", o.LostAt)
+	}
+	if o.RegainedAt < 80 || o.RegainedAt > 110 {
+		t.Errorf("RegainedAt = %.2f, want shortly after the restore at 80", o.RegainedAt)
+	}
+	if mon.Resurrections() != 0 {
+		t.Errorf("resurrections = %d, want 0", mon.Resurrections())
+	}
+	ages := mon.Ages()
+	if len(ages) == 0 {
+		t.Fatal("no age samples")
+	}
+	for _, age := range ages {
+		if age < 0 || age > 15 {
+			t.Fatalf("implausible sampled age %.2f (period 5, timeout 15)", age)
+		}
+	}
+	st := mon.StalenessAtFailures()
+	if len(st) != 1 {
+		t.Fatalf("staleness samples = %v, want one (route was live at the failure)", st)
+	}
+	if st[0] < 0 || st[0] > 6 {
+		t.Errorf("staleness at failure = %.2f, want within one refresh period-ish", st[0])
+	}
+	if av := mon.Availability(); math.IsNaN(av) || av <= 0 || av > 1 {
+		t.Errorf("availability = %v", av)
+	}
+	ic := mon.InitialConvergence()
+	if len(ic) != 1 || ic[0] > 10 {
+		t.Errorf("initial convergence = %v, want one early entry", ic)
+	}
+}

@@ -26,7 +26,15 @@ type Link struct {
 	cfg  LinkConfig
 	ends [2]*Node
 	tx   [2]txState
-	down bool
+	// down and cost are per-endpoint views of the link state, indexed
+	// like ends. Each endpoint's view is only ever written by an event
+	// executing at that endpoint (or during single-threaded setup), so a
+	// link crossing a partition boundary never shares mutable state
+	// between logical processes. FailAt/RestoreAt/SetCostAt schedule one
+	// same-time keyed event per end, which keeps flapped runs
+	// bit-identical for any partition count.
+	down [2]bool
+	cost [2]uint32
 	// stats per direction
 	txPackets [2]uint64
 	txBytes   [2]uint64
@@ -57,17 +65,91 @@ func (l *Link) Utilization(from *Node, window float64) float64 {
 	return busy / window
 }
 
-// SetDown marks the link failed (true) or restored (false). Packets in
-// flight or transmitted while the link is down are dropped — the failure
-// model behind the routing protocol's convergence tests. Not supported
-// while a partitioned run is in progress (topology state is shared).
+// SetDown marks the link failed (true) or restored (false) at both ends
+// at once. Packets in flight or transmitted while the link is down are
+// dropped — the failure model behind the routing protocol's convergence
+// tests.
+//
+// SetDown is a setup helper: call it only from single-threaded phases —
+// before the run starts, or between RunUntil calls, when every logical
+// process sits at a barrier. For transitions during a run use
+// FailAt/RestoreAt, which flip each endpoint's view from a keyed event
+// on the endpoint's own logical process; a direct mid-window SetDown on
+// a cross-partition link is a data race and breaks the K-run
+// bit-identity contract.
 func (l *Link) SetDown(down bool) {
-	l.down = down
+	l.down[0] = down
+	l.down[1] = down
 	l.net.bumpTopology()
 }
 
-// Down reports the link's failure state.
-func (l *Link) Down() bool { return l.down }
+// Down reports the link's failure state: true if either endpoint
+// considers the link failed. Outside a transition instant both views
+// agree.
+func (l *Link) Down() bool { return l.down[0] || l.down[1] }
+
+// FailAt schedules the link to fail at absolute time t, and RestoreAt
+// to come back up. Each schedules one keyed event per endpoint at the
+// same instant, so every logical process flips its own view itself and
+// the transition is deterministic under any partitioning. Transitions
+// must be scheduled after Partition (like all runtime events) and may
+// be freely interleaved to model flapping.
+func (l *Link) FailAt(t float64)    { l.scheduleDown(t, true) }
+func (l *Link) RestoreAt(t float64) { l.scheduleDown(t, false) }
+
+func (l *Link) scheduleDown(t float64, down bool) {
+	label := "link-restore"
+	if down {
+		label = "link-fail"
+	}
+	for d := range l.ends {
+		d := d
+		l.ends[d].Schedule(t, label, func() {
+			l.down[d] = down
+			l.net.bumpTopology()
+		})
+	}
+}
+
+// CostFrom returns the routing metric endpoint nd currently charges for
+// a hop over this link (at least 1; the zero value means hop count).
+// Metric-weighted routing configs read it from their LinkCost hook.
+func (l *Link) CostFrom(nd *Node) uint32 {
+	if c := l.cost[l.dir(nd)]; c > 0 {
+		return c
+	}
+	return 1
+}
+
+// SetCost sets the hop metric at both ends — a setup helper with the
+// same single-threaded-phase discipline as SetDown.
+func (l *Link) SetCost(c uint32) {
+	if c < 1 {
+		panic("netsim: link cost must be at least 1")
+	}
+	l.cost[0] = c
+	l.cost[1] = c
+	l.net.bumpTopology()
+}
+
+// SetCostAt schedules a metric change at absolute time t, one keyed
+// event per endpoint — the deterministic mid-run counterpart of SetCost,
+// like FailAt for SetDown.
+func (l *Link) SetCostAt(t float64, c uint32) {
+	if c < 1 {
+		panic("netsim: link cost must be at least 1")
+	}
+	for d := range l.ends {
+		d := d
+		l.ends[d].Schedule(t, "link-metric", func() {
+			l.cost[d] = c
+			l.net.bumpTopology()
+		})
+	}
+}
+
+// Endpoints returns the link's two endpoint nodes in construction order.
+func (l *Link) Endpoints() [2]*Node { return l.ends }
 
 type txState struct {
 	busy  bool
@@ -118,9 +200,10 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 }
 
 // deliverTo completes propagation at the receiving end. It runs on the
-// receiver's simulator (the boundary path injects it there).
+// receiver's simulator (the boundary path injects it there), so it
+// consults the receiver's view of the link state.
 func (l *Link) deliverTo(dst *Node, pkt *Packet) {
-	if l.down {
+	if l.down[l.dir(dst)] {
 		l.net.dropAt(dst, DropLinkDown)
 		return
 	}
@@ -164,11 +247,11 @@ func (l *Link) dir(from *Node) int {
 // other end); `to` is accepted for interface symmetry and ignored except
 // that Broadcast is also valid.
 func (l *Link) Transmit(pkt *Packet, from *Node, _ NodeID) {
-	if l.down {
+	d := l.dir(from)
+	if l.down[d] {
 		l.net.dropAt(from, DropLinkDown)
 		return
 	}
-	d := l.dir(from)
 	st := &l.tx[d]
 	if st.busy {
 		if len(st.queue) >= l.cfg.QueueCap {

@@ -30,6 +30,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"routesync/internal/des"
 	"routesync/internal/rng"
@@ -104,28 +105,45 @@ const (
 	DropTTLExpired    DropReason = "ttl-expired"
 	DropRandomLoss    DropReason = "random-loss"
 	DropLinkDown      DropReason = "link-down"
+	DropNodeDown      DropReason = "node-down"
 )
 
-// numDropReasons sizes the fixed drop-counter arrays; dropIndex maps each
-// reason to its slot. Counting a drop is an array increment — no map
+// Drop-counter slots. Counting a drop is an array increment — no map
 // lookup, no lazy allocation — and merging partition counters is a
-// commutative array sum.
-const numDropReasons = 6
+// commutative array sum. The enum below, dropIndex and dropReasons must
+// agree slot for slot: a new reason goes in all three, and
+// TestDropReasonsExhaustive fails on any mismatch, so extending the
+// reason list can never silently truncate the fixed counter arrays.
+const (
+	dropQueueOverflowIdx = iota
+	dropCPUBusyIdx
+	dropNoRouteIdx
+	dropTTLExpiredIdx
+	dropRandomLossIdx
+	dropLinkDownIdx
+	dropNodeDownIdx
+
+	// numDropReasons sizes the fixed drop-counter arrays; it is the enum
+	// length, so arrays grow automatically with the enum.
+	numDropReasons
+)
 
 func dropIndex(r DropReason) int {
 	switch r {
 	case DropQueueOverflow:
-		return 0
+		return dropQueueOverflowIdx
 	case DropCPUBusy:
-		return 1
+		return dropCPUBusyIdx
 	case DropNoRoute:
-		return 2
+		return dropNoRouteIdx
 	case DropTTLExpired:
-		return 3
+		return dropTTLExpiredIdx
 	case DropRandomLoss:
-		return 4
+		return dropRandomLossIdx
 	case DropLinkDown:
-		return 5
+		return dropLinkDownIdx
+	case DropNodeDown:
+		return dropNodeDownIdx
 	default:
 		panic(fmt.Sprintf("netsim: unknown drop reason %q", r))
 	}
@@ -134,7 +152,14 @@ func dropIndex(r DropReason) int {
 // dropReasons lists reasons in dropIndex order, for snapshots.
 var dropReasons = [numDropReasons]DropReason{
 	DropQueueOverflow, DropCPUBusy, DropNoRoute,
-	DropTTLExpired, DropRandomLoss, DropLinkDown,
+	DropTTLExpired, DropRandomLoss, DropLinkDown, DropNodeDown,
+}
+
+// DropReasons returns every defined drop reason in counter order — the
+// canonical list for exhaustive reporting and for the exhaustiveness
+// test that guards the fixed-array counters.
+func DropReasons() []DropReason {
+	return append([]DropReason(nil), dropReasons[:]...)
 }
 
 // counterSet is the internal accounting block. The unpartitioned network
@@ -183,11 +208,14 @@ type Network struct {
 	// Rand is build-time randomness (topology generation). Runtime draws
 	// — per-arrival loss — come from per-node streams so the draw order
 	// cannot depend on the partitioning.
-	Rand    *rng.Source
-	seed    int64
-	nodes   []*Node
-	count   counterSet
-	topoVer uint64
+	Rand  *rng.Source
+	seed  int64
+	nodes []*Node
+	count counterSet
+	// topoVer is atomic because scheduled fault transitions (Link.FailAt,
+	// LAN.FailAt, node crashes) bump it from partition goroutines; the
+	// increments commute, so the merged value stays K-invariant.
+	topoVer atomic.Uint64
 	parts   []*partition
 	// lookahead is the minimum cross-partition link delay (see Lookahead).
 	lookahead float64
@@ -285,10 +313,10 @@ func (n *Network) NumNodes() int { return len(n.nodes) }
 // TopologyVersion returns a counter that increments whenever the
 // topology changes — a medium is attached or a link changes up/down
 // state. Agents use it to invalidate cached adjacency.
-func (n *Network) TopologyVersion() uint64 { return n.topoVer }
+func (n *Network) TopologyVersion() uint64 { return n.topoVer.Load() }
 
 // bumpTopology invalidates topology-derived caches.
-func (n *Network) bumpTopology() { n.topoVer++ }
+func (n *Network) bumpTopology() { n.topoVer.Add(1) }
 
 // NewPacket allocates a packet with a fresh id and the current timestamp.
 // Ids are drawn from the source node's counter (high bits node, low bits

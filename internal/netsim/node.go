@@ -62,6 +62,12 @@ type Node struct {
 	media []Medium
 	stats nodeCount
 
+	// failed marks a crashed node: every arriving packet is dropped as
+	// DropNodeDown until the node is restored. Owned by the node's
+	// logical process — only events executing at this node (or
+	// single-threaded phases) may flip it.
+	failed bool
+
 	// rnd is the node's private random stream (per-arrival loss draws).
 	rnd *rng.Source
 	// part is the owning logical process, nil while unpartitioned.
@@ -182,6 +188,29 @@ func (nd *Node) NumMedia() int { return len(nd.media) }
 // per-packet paths.
 func (nd *Node) MediumAt(i int) Medium { return nd.media[i] }
 
+// Failed reports the node's crash state.
+func (nd *Node) Failed() bool { return nd.failed }
+
+// SetFailed crashes (true) or restores (false) the node. While failed,
+// every packet handed to the node by any medium is dropped as
+// DropNodeDown; crashing also discards any data packets parked in the
+// CPU input queue (they were waiting on a processor that just lost
+// power). SetFailed does not touch the FIB or any agent state — callers
+// modelling a full router crash clear those too (routing.Agent.Crash
+// does). Call it from an event executing at this node or from a
+// single-threaded phase: the flag is owned by the node's logical
+// process.
+func (nd *Node) SetFailed(failed bool) {
+	nd.failed = failed
+	if failed && nd.CPU != nil {
+		q := nd.CPU.queue
+		nd.CPU.queue = nil
+		for _, pkt := range q {
+			nd.dropHere(pkt, DropNodeDown)
+		}
+	}
+}
+
 // SetRoute installs a forwarding entry for dst.
 func (nd *Node) SetRoute(dst NodeID, via Medium, nextHop NodeID) {
 	nd.FIB[dst] = Egress{Via: via, NextHop: nextHop}
@@ -197,6 +226,10 @@ func (nd *Node) SendOn(m Medium, to NodeID, pkt *Packet) {
 // medium lands here.
 func (nd *Node) receive(pkt *Packet, via Medium) {
 	nd.stats.received++
+	if nd.failed {
+		nd.dropHere(pkt, DropNodeDown)
+		return
+	}
 	if pkt.RecordRoute {
 		pkt.Hops = append(pkt.Hops, Hop{Node: nd.ID, At: nd.Now()})
 	}
@@ -263,6 +296,12 @@ func (nd *Node) forward(pkt *Packet) {
 // route is the injection path for locally generated packets: deliver to
 // self or forward, without a TTL charge for the first hop decision.
 func (nd *Node) route(pkt *Packet) {
+	if nd.failed {
+		// A crashed node generates nothing; workloads scheduled on it
+		// lose their packets at the source.
+		nd.net.dropAt(nd, DropNodeDown)
+		return
+	}
 	if pkt.Dst == nd.ID {
 		nd.deliverLocal(pkt)
 		return

@@ -54,6 +54,22 @@ func runScaleTopo(t *testing.T, backend des.Backend, k int) partitionSnapshot {
 		nw.Partition(k, OwnerByBlock(perAS, numAS, k))
 	}
 
+	// Mid-run faults through the keyed event layer: flap two backbone
+	// links (both cross partition boundaries for k ≥ 2) and crash/restore
+	// one transit router while traffic flows. Scheduled transitions must
+	// land after Partition, like every runtime event.
+	l01 := linkBetweenNodes(topo.Gateways[0], topo.Gateways[1])
+	l01.FailAt(1.1)
+	l01.RestoreAt(2.3)
+	l01.FailAt(6.8)
+	l01.RestoreAt(8.0)
+	l34 := linkBetweenNodes(topo.Gateways[3], topo.Gateways[4])
+	l34.FailAt(0.9)
+	l34.RestoreAt(4.2)
+	crash := topo.Routers[numAS-1][3] // hostB's access router: transit for all host↔host CBR
+	crash.Schedule(3.3, "crash", func() { crash.SetFailed(true) })
+	crash.Schedule(5.1, "restore", func() { crash.SetFailed(false) })
+
 	// Per-sink slices, not a shared map: each OnDeliver closure fires on
 	// its sink's logical process, so every slice stays goroutine-confined.
 	sinks := []*Node{hostA, hostB, topo.Routers[2][2]}
@@ -127,6 +143,9 @@ func TestPartitionDeterminism(t *testing.T) {
 	ref := runScaleTopo(t, des.BackendHeap, 0)
 	if ref.counters.Delivered == 0 || ref.counters.TotalDropped() == 0 {
 		t.Fatalf("degenerate reference run: %+v", ref.counters)
+	}
+	if ref.counters.Drops[DropLinkDown] == 0 || ref.counters.Drops[DropNodeDown] == 0 {
+		t.Fatalf("fault machinery inert — no down-state drops: %+v", ref.counters.Drops)
 	}
 	found := false
 	for _, rec := range ref.deliveries {

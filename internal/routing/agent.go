@@ -103,6 +103,8 @@ type Agent struct {
 
 	table      *Table
 	timerEv    des.Event
+	sweepEv    des.Event
+	waitEv     des.Event
 	timerLabel string // hoisted: one fmt.Sprintf per agent, not per re-arm
 	rearmFn    func() // hoisted rearmWhenIdle closure
 	sweepFn    func() // hoisted sweep closure
@@ -110,6 +112,10 @@ type Agent struct {
 	lastTrig   float64
 	stats      Stats
 	stopped    bool
+	// gen counts agent lifetimes: Stop bumps it, and CPU-completion
+	// callbacks issued before the stop compare their captured gen so a
+	// reboot (Crash/Restart) never processes work from a previous life.
+	gen uint64
 
 	// OnSend, if set, observes every update transmission (experiments
 	// use it for cluster detection on the packet-level substrate).
@@ -117,6 +123,13 @@ type Agent struct {
 	// OnTimerReset, if set, observes every timer re-arm with the
 	// absolute expiry time.
 	OnTimerReset func(resetAt, expiresAt float64)
+	// OnRouteChange, if set, observes forwarding-state transitions for a
+	// destination: reachable == true when a route is (re)programmed into
+	// the FIB, false when the destination becomes unreachable or its
+	// route is expired. The age-of-information instrumentation in
+	// internal/faults hangs off this hook; nil costs one predictable
+	// branch per transition.
+	OnRouteChange func(dest netsim.NodeID, metric uint32, reachable bool)
 }
 
 // NewAgent creates an agent on node and installs its receive hook. Call
@@ -214,15 +227,57 @@ func (a *Agent) cancelTimer() {
 	a.timerEv = des.Event{}
 }
 
-// Stop halts the agent: the periodic timer is cancelled, housekeeping
-// ceases, and incoming packets are ignored. The routing table is left
-// as-is for post-mortem inspection. Stop models an administrative
+// Stop halts the agent: the periodic timer, housekeeping sweep and any
+// pending rearm wait are cancelled, in-flight CPU work from this life is
+// invalidated, and incoming packets are ignored. The routing table is
+// left as-is for post-mortem inspection. Stop models an administrative
 // shutdown; the neighbors' route-timeout machinery ages the dead
 // router's routes out.
 func (a *Agent) Stop() {
 	a.stopped = true
+	a.gen++
 	a.cancelTimer()
+	a.node.Cancel(a.sweepEv)
+	a.sweepEv = des.Event{}
+	a.node.Cancel(a.waitEv)
+	a.waitEv = des.Event{}
 	a.node.OnRouting = nil
+}
+
+// Crash models a power failure mid-run: the agent stops as in Stop, the
+// router's volatile state — routing table, hold-down windows, FIB — is
+// lost, and the node is marked failed so the data plane drops every
+// arrival (DropNodeDown) until Restart. Call it from an event executing
+// at the agent's node (internal/faults schedules exactly that) or from
+// a single-threaded phase.
+func (a *Agent) Crash() {
+	a.Stop()
+	for dst := range a.node.FIB {
+		delete(a.node.FIB, dst)
+	}
+	a.table = NewTable(a.cfg.Profile.Infinity)
+	a.table.SetHoldDown(a.cfg.Profile.HoldDown)
+	a.node.SetFailed(true)
+}
+
+// Restart reboots a stopped agent: the node is restored, the receive
+// hook reinstalled, and the first periodic timer armed startOffset
+// seconds from now. After Crash the agent comes back with empty tables,
+// as a real router reboot would; after a plain Stop it keeps its old
+// table (an administrative restart). With Config.RequestOnStart set the
+// agent broadcasts a table request immediately (RFC 1058 §3.4.1), so
+// recovery does not wait on the neighbors' periodic timers. Stats
+// counters accumulate across reboots, and observer hooks (OnSend,
+// OnRouteChange, ...) stay installed. It panics on a running agent.
+func (a *Agent) Restart(startOffset float64) {
+	if !a.stopped {
+		panic("routing: Restart on a running agent")
+	}
+	a.node.SetFailed(false)
+	a.stopped = false
+	a.lastTrig = a.node.Now() - a.cfg.TriggerHoldoff
+	a.node.OnRouting = a.receive
+	a.Start(startOffset)
 }
 
 // onTimer fires at a periodic timer expiration: prepare and send the
@@ -247,8 +302,9 @@ func (a *Agent) sendUpdate(triggered, resetTimer bool) {
 	a.broadcast(triggered)
 	prep := math.Max(a.cfg.Costs.MinPrepare,
 		a.cfg.Costs.PerRoutePrepare*float64(a.table.Len()+a.cfg.ExtraRoutes))
+	gen := a.gen
 	after := func() {
-		if resetTimer {
+		if resetTimer && a.gen == gen {
 			a.rearmWhenIdle()
 		}
 	}
@@ -267,7 +323,7 @@ func (a *Agent) rearmWhenIdle() {
 		return
 	}
 	if a.node.CPU != nil && a.node.CPU.Busy() {
-		a.node.Schedule(a.node.CPU.BusyUntil(), "routing-rearm-wait", a.rearmFn)
+		a.waitEv = a.node.Schedule(a.node.CPU.BusyUntil(), "routing-rearm-wait", a.rearmFn)
 		return
 	}
 	a.cancelTimer()
@@ -350,7 +406,12 @@ func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
 	}
 	proc := math.Max(a.cfg.Costs.MinProcess,
 		a.cfg.Costs.PerRouteProcess*float64(len(msg.Entries)))
-	work := func() { a.integrate(msg, via) }
+	gen := a.gen
+	work := func() {
+		if a.gen == gen {
+			a.integrate(msg, via)
+		}
+	}
 	if a.node.CPU != nil && proc > 0 {
 		a.node.CPU.OccupyThen(proc, work)
 		return
@@ -374,10 +435,16 @@ func (a *Agent) integrate(msg Message, via netsim.Medium) {
 		r := a.table.Get(dest)
 		if r != nil && !r.Local && r.Metric < a.table.Infinity() {
 			a.node.SetRoute(dest, r.Via, r.NextHop)
+			if a.OnRouteChange != nil {
+				a.OnRouteChange(dest, r.Metric, true)
+			}
 		}
 	}
 	for _, dest := range res.Unreachable {
 		delete(a.node.FIB, dest)
+		if a.OnRouteChange != nil {
+			a.OnRouteChange(dest, a.table.Infinity(), false)
+		}
 	}
 	if !a.cfg.Profile.TriggeredUpdates {
 		return
@@ -405,7 +472,7 @@ func (a *Agent) scheduleSweep() {
 	if a.stopped {
 		return
 	}
-	a.node.After(a.cfg.Profile.Period, "routing-sweep", a.sweepFn)
+	a.sweepEv = a.node.After(a.cfg.Profile.Period, "routing-sweep", a.sweepFn)
 }
 
 func (a *Agent) sweep() {
@@ -417,6 +484,9 @@ func (a *Agent) sweep() {
 	a.stats.DeletedRoutes += uint64(len(deleted))
 	for _, dest := range unreachable {
 		delete(a.node.FIB, dest)
+		if a.OnRouteChange != nil {
+			a.OnRouteChange(dest, a.table.Infinity(), false)
+		}
 	}
 	if len(unreachable) > 0 && a.cfg.Profile.TriggeredUpdates {
 		a.triggerUpdate()

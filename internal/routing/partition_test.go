@@ -68,11 +68,12 @@ func runRoutingAS(backend des.Backend, k int) routingPartitionSnap {
 			idx++
 		}
 	}
-	n.RunUntil(150)
-	// Fail one backbone link from the coordinator (between RunUntil calls
-	// the network is single-threaded) and let the protocol re-converge.
+	// Fail one backbone link as a scheduled keyed event: it fires in the
+	// middle of a parallel window (not at a RunUntil barrier), which is
+	// exactly the case the old direct SetDown mutation could not handle.
 	backbone := linkBetween(topo.Gateways[1], topo.Gateways[2])
-	backbone.SetDown(true)
+	backbone.FailAt(150.5)
+	n.RunUntil(150)
 	n.RunUntil(400)
 
 	snap := routingPartitionSnap{counters: n.Counters(), sends: sends}
