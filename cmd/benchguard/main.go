@@ -2,11 +2,14 @@
 // committed BENCH_*.json baseline and fails when any matching benchmark
 // allocates more per op than the baseline recorded (plus 1% headroom,
 // which rounds to zero for the alloc-free hot paths — a 0 → 1 allocs/op
-// slip still fails exactly), or runs slower than the baseline ns/op by
-// more than a configurable tolerance. ns/op is noisy in CI, so the time
-// gate only trips on regressions past -tolerance (default 25%) — wide
-// enough to ride out scheduler jitter, tight enough to catch a hot path
-// falling off its complexity class.
+// slip still fails exactly), allocates more bytes per op than the
+// baseline (exact for 0 B/op baselines, 12.5% + 8 bytes headroom
+// elsewhere — small baselines truncate per-op and wobble by whole
+// objects), or runs slower than the baseline ns/op by more than a
+// configurable tolerance. ns/op is noisy in CI, so the time gate only
+// trips on regressions past -tolerance (default 25%) — wide enough to
+// ride out scheduler jitter, tight enough to catch a hot path falling
+// off its complexity class.
 //
 // Usage:
 //
@@ -42,6 +45,7 @@ type baselineFile struct {
 	Benchmarks []struct {
 		Name        string  `json:"name"`
 		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
 		AllocsPerOp int64   `json:"allocs_per_op"`
 	} `json:"benchmarks"`
 }
@@ -49,13 +53,18 @@ type baselineFile struct {
 // measurement is one parsed benchmark line.
 type measurement struct {
 	nsPerOp     float64
+	bytesPerOp  int64
 	allocsPerOp int64
+	hasBytes    bool
 }
 
 // benchLine matches one `go test -bench` result line, e.g.
 //
 //	BenchmarkDESScheduleStep-8   15734137   71.20 ns/op   0 B/op   0 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op.*?(\d+)\s+allocs/op`)
+//
+// The B/op column appears with -benchmem or b.ReportAllocs; when a line
+// lacks it, the bytes gate is skipped for that benchmark.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?.*?(\d+)\s+allocs/op`)
 
 // gomaxprocsSuffix is the trailing "-<digits>" go test appends to names.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -82,11 +91,19 @@ func parseBenchOutput(r io.Reader) (map[string]measurement, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
-		allocs, err := strconv.ParseInt(m[3], 10, 64)
+		allocs, err := strconv.ParseInt(m[4], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
 		}
-		out[normalize(m[1])] = measurement{nsPerOp: ns, allocsPerOp: allocs}
+		meas := measurement{nsPerOp: ns, allocsPerOp: allocs}
+		if m[3] != "" {
+			b, err := strconv.ParseInt(m[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+			}
+			meas.bytesPerOp, meas.hasBytes = b, true
+		}
+		out[normalize(m[1])] = meas
 	}
 	return out, sc.Err()
 }
@@ -104,6 +121,17 @@ func newestBaseline(dir string) (string, error) {
 	}
 	sort.Strings(names)
 	return names[len(names)-1], nil
+}
+
+// byteSlack is the headroom the bytes gate allows over a baseline: a
+// 0 B/op baseline is exact (a zero-alloc path acquiring any allocation
+// fails), others get 12.5% plus 8 bytes so integer-truncated means of
+// rare allocations don't flap CI.
+func byteSlack(base int64) int64 {
+	if base == 0 {
+		return 0
+	}
+	return base/8 + 8
 }
 
 func run(baselinePath string, tolerance float64, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -146,17 +174,26 @@ func run(baselinePath string, tolerance float64, stdin io.Reader, stdout, stderr
 		// thousands of inherent allocations plus goroutine machinery —
 		// wobble by a few counts with scheduler interleaving and must not
 		// flap CI.
-		if got.allocsPerOp > b.AllocsPerOp+b.AllocsPerOp/100 {
+		switch {
+		case got.allocsPerOp > b.AllocsPerOp+b.AllocsPerOp/100:
 			status = "REGRESSION(allocs)"
 			regressions++
-		} else if b.NsPerOp > 0 && got.nsPerOp > b.NsPerOp*(1+tolerance) {
+		case got.hasBytes && got.bytesPerOp > b.BytesPerOp+byteSlack(b.BytesPerOp):
+			// Exact at 0 B/op — a zero-alloc path acquiring any allocation
+			// fails — with 12.5% + 8 bytes of headroom elsewhere: B/op is an
+			// integer-truncated mean, so small baselines wobble by whole
+			// objects when one rare allocation lands a few more or fewer
+			// times per run.
+			status = "REGRESSION(bytes)"
+			regressions++
+		case b.NsPerOp > 0 && got.nsPerOp > b.NsPerOp*(1+tolerance):
 			// A baseline recorded before the time gate existed carries
 			// ns_per_op 0; skip the time comparison rather than flag it.
 			status = "REGRESSION(ns)"
 			regressions++
 		}
-		fmt.Fprintf(stdout, "%-42s baseline %3d allocs/op %10.1f ns/op, measured %3d allocs/op %10.1f ns/op  %s\n",
-			b.Name, b.AllocsPerOp, b.NsPerOp, got.allocsPerOp, got.nsPerOp, status)
+		fmt.Fprintf(stdout, "%-42s baseline %3d allocs/op %6d B/op %10.1f ns/op, measured %3d allocs/op %6d B/op %10.1f ns/op  %s\n",
+			b.Name, b.AllocsPerOp, b.BytesPerOp, b.NsPerOp, got.allocsPerOp, got.bytesPerOp, got.nsPerOp, status)
 	}
 	if matches == 0 {
 		fmt.Fprintf(stderr, "benchguard: no benchmark in the input matched the baseline %s — name drift?\n", baselinePath)

@@ -40,10 +40,10 @@ func TestParseBenchOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]measurement{
-		"DESScheduleStep":   {nsPerOp: 71.20, allocsPerOp: 0},
-		"DESScheduleCancel": {nsPerOp: 12.45, allocsPerOp: 0},
-		"PeriodicStep/N=20": {nsPerOp: 94.42, allocsPerOp: 2},
-		"NewInThisPR":       {nsPerOp: 1000, allocsPerOp: 9},
+		"DESScheduleStep":   {nsPerOp: 71.20, bytesPerOp: 0, allocsPerOp: 0, hasBytes: true},
+		"DESScheduleCancel": {nsPerOp: 12.45, bytesPerOp: 0, allocsPerOp: 0, hasBytes: true},
+		"PeriodicStep/N=20": {nsPerOp: 94.42, bytesPerOp: 16, allocsPerOp: 2, hasBytes: true},
+		"NewInThisPR":       {nsPerOp: 1000, bytesPerOp: 64, allocsPerOp: 9, hasBytes: true},
 	}
 	if len(m) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(m), len(want), m)
@@ -66,9 +66,9 @@ func writeBaseline(t *testing.T, body string) string {
 
 const baselineJSON = `{
   "benchmarks": [
-    {"name": "DESScheduleStep", "ns_per_op": 70.0, "allocs_per_op": 0},
-    {"name": "DESScheduleCancel", "ns_per_op": 12.0, "allocs_per_op": 0},
-    {"name": "PeriodicStep/N=20", "ns_per_op": 90.0, "allocs_per_op": 2},
+    {"name": "DESScheduleStep", "ns_per_op": 70.0, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "DESScheduleCancel", "ns_per_op": 12.0, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "PeriodicStep/N=20", "ns_per_op": 90.0, "bytes_per_op": 16, "allocs_per_op": 2},
     {"name": "OnlyInBaseline", "ns_per_op": 1.0, "allocs_per_op": 0}
   ]
 }`
@@ -162,6 +162,50 @@ func TestGuardAllocHeadroom(t *testing.T) {
 	if code := run(writeBaseline(t, base), 0.25,
 		strings.NewReader(fmt.Sprintf(line, 20400)), &out, &errb); code != 1 {
 		t.Fatalf("+2%%: exit %d, want 1", code)
+	}
+}
+
+func TestGuardCatchesByteRegression(t *testing.T) {
+	// Same allocs/op but more bytes/op: a pooled path quietly replaced by
+	// one bigger allocation. Exact at a 0 B/op baseline.
+	regressed := strings.Replace(sampleBenchOutput,
+		"        71.20 ns/op	       0 B/op	       0 allocs/op",
+		"        71.20 ns/op	      24 B/op	       0 allocs/op", 1)
+	var out, errb bytes.Buffer
+	if code := run(writeBaseline(t, baselineJSON), 0.25, strings.NewReader(regressed), &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout %q", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION(bytes)") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestGuardByteHeadroom(t *testing.T) {
+	// Non-zero baselines get 12.5% + 8 B of headroom: B/op is an
+	// integer-truncated mean, so rare allocations wobble it by whole
+	// objects between runs.
+	base := `{"benchmarks": [{"name": "Wobbly", "ns_per_op": 100, "bytes_per_op": 64, "allocs_per_op": 3}]}`
+	line := "BenchmarkWobbly-8   100   100.0 ns/op   %d B/op   3 allocs/op\n"
+	var out, errb bytes.Buffer
+	if code := run(writeBaseline(t, base), 0.25,
+		strings.NewReader(fmt.Sprintf(line, 80)), &out, &errb); code != 0 {
+		t.Fatalf("64+16: exit %d, stdout %q", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(writeBaseline(t, base), 0.25,
+		strings.NewReader(fmt.Sprintf(line, 81)), &out, &errb); code != 1 {
+		t.Fatalf("64+17: exit %d, want 1", code)
+	}
+}
+
+func TestGuardSkipsBytesWithoutColumn(t *testing.T) {
+	// Output without -benchmem carries no B/op column; the bytes gate
+	// must skip rather than read 0 and pass or fail spuriously.
+	noBytes := "BenchmarkPeriodicStep/N=20-8   100   94.42 ns/op   2 allocs/op\n"
+	var out, errb bytes.Buffer
+	if code := run(writeBaseline(t, baselineJSON), 0.25, strings.NewReader(noBytes), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
 	}
 }
 

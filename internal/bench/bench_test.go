@@ -75,3 +75,9 @@ func BenchmarkNetsimChurn(b *testing.B) {
 		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) { NetsimChurn(b, k) })
 	}
 }
+
+func BenchmarkNetsimExchange(b *testing.B) {
+	for _, k := range []int{2, 4} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) { NetsimExchange(b, k) })
+	}
+}

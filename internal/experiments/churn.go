@@ -133,6 +133,19 @@ func churnLink(a, b *netsim.Node) *netsim.Link {
 // churned routers; outage lengths are fixed (churnMeanDown) so the
 // sweep varies only how often failures arrive.
 func BuildChurn(numAS, perAS, k int, seed int64, meanUp float64, pol ChurnPolicy, horizon float64, obs des.Observer) *ChurnScenario {
+	return buildChurn(numAS, perAS, k, seed, meanUp, pol, horizon, obs, true)
+}
+
+// BuildChurnBench is BuildChurn without the age-of-information monitor:
+// the same topology, agents, faults and ping stream, but no route-change
+// observers or sampling events. The benchmark harness uses it to measure
+// the simulator itself — monitor bookkeeping appends to result slices on
+// every route change, which would show up as measurement allocations.
+func BuildChurnBench(numAS, perAS, k int, seed int64, meanUp float64, pol ChurnPolicy, horizon float64, obs des.Observer) *ChurnScenario {
+	return buildChurn(numAS, perAS, k, seed, meanUp, pol, horizon, obs, false)
+}
+
+func buildChurn(numAS, perAS, k int, seed int64, meanUp float64, pol ChurnPolicy, horizon float64, obs des.Observer, withMonitor bool) *ChurnScenario {
 	if numAS < 4 || perAS < 3 {
 		panic("experiments: BuildChurn needs at least 4 domains of 3 routers")
 	}
@@ -217,13 +230,15 @@ func BuildChurn(numAS, perAS, k int, seed int64, meanUp float64, pol ChurnPolicy
 	// domain, so pings cross the flapped backbone.
 	src := topo.Routers[0][perAS/2]
 	dst := topo.Routers[numAS/2][perAS/2]
-	mon := faults.NewMonitor([]netsim.NodeID{src.ID, dst.ID})
-	for _, ag := range sc.Agents {
-		mon.Observe(ag)
+	if withMonitor {
+		mon := faults.NewMonitor([]netsim.NodeID{src.ID, dst.ID})
+		for _, ag := range sc.Agents {
+			mon.Observe(ag)
+		}
+		mon.ScheduleSampling(20, 7, horizon)
+		mon.SampleAtFailures(in.FailureTimes())
+		sc.Monitor = mon
 	}
-	mon.ScheduleSampling(20, 7, horizon)
-	mon.SampleAtFailures(in.FailureTimes())
-	sc.Monitor = mon
 
 	interval := 0.503
 	count := int((horizon - 35) / interval)

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"testing"
+)
+
+// TestSteadyStateFootprint is the GOGC=off smoke: it disables the
+// garbage collector, runs a quick ext_netscale configuration well past
+// convergence, and asserts the total heap stays under a fixed ceiling.
+// With the collector off every allocation is permanent, so a steady
+// state that still allocates — a pooled path quietly regressed — grows
+// the heap linearly with simulated time and blows through the ceiling;
+// the genuinely zero-alloc path costs only its build + warmup high-water
+// mark. CI runs this with GOGC=off in the environment as well so the
+// test-binary startup matches; the gate itself is SetGCPercent(-1).
+//
+// Skipped unless ROUTESYNC_FOOTPRINT=1: with the collector off the
+// ceiling depends only on the scenario (not machine state), but the
+// test pins ~10× the usual package test memory and has its own CI step.
+func TestSteadyStateFootprint(t *testing.T) {
+	if os.Getenv("ROUTESYNC_FOOTPRINT") == "" {
+		t.Skip("set ROUTESYNC_FOOTPRINT=1 (CI runs this step with GOGC=off)")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sc := BuildNetScale(500, 25, 4, 1, 600, nil)
+	sc.Run()
+	runtime.ReadMemStats(&after)
+
+	grewMB := float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+	t.Logf("heap growth over build + 600 simulated seconds: %.1f MB", grewMB)
+	// Observed ~6 MB for build + convergence + steady windows; the
+	// ceiling is ~2.5×. A leak of even one small object per packet event
+	// adds tens of MB over this horizon and fails unambiguously.
+	const ceilingMB = 16
+	if grewMB > ceilingMB {
+		t.Errorf("heap grew %.1f MB with GC off, ceiling %d MB — steady state is allocating", grewMB, ceilingMB)
+	}
+}

@@ -51,8 +51,13 @@ type NetScaleScenario struct {
 	Net    *netsim.Network
 	Pinger *workload.Pinger
 	// SendTimes[i] collects agent i's update transmissions; each slice is
-	// only appended from the logical process owning that agent's router.
+	// only appended from the logical process owning that agent's router
+	// and is pre-sized for the horizon, so recording never allocates
+	// during the run.
 	SendTimes [][]float64
+	// Agents lists the attached routing agents (leak audits sum their
+	// pending-packet counts).
+	Agents []*routing.Agent
 	// Routers is the total router count (domains × RoutersPerAS).
 	Routers int
 	// NumAS and PerAS give the domain geometry; Partitions the realized K.
@@ -146,13 +151,18 @@ func BuildNetScale(routers, perAS, k int, seed int64, horizon float64, obs des.O
 		Jitter:  jitter.HalfSpread{Tp: routing.RIP().Period},
 		Costs:   routing.DefaultCosts(),
 	}
+	// Half-spread jitter draws intervals from [Tp/2, Tp), so an agent
+	// sends at most horizon/(Tp/2) updates; sizing the recorders for that
+	// up front keeps the run itself allocation-free.
+	sendCap := int(horizon/(cfg.Profile.Period/2)) + 4
 	for a := 0; a < numAS; a++ {
 		for i := 1; i < perAS; i++ { // gateways (i == 0) stay passive
 			nd := topo.Routers[a][i]
 			agCfg := cfg
 			agCfg.Seed = seed*31 + int64(nd.ID)
 			ag := routing.NewAgent(nd, agCfg)
-			rec := make([]float64, 0, 8)
+			sc.Agents = append(sc.Agents, ag)
+			rec := make([]float64, 0, sendCap)
 			sc.SendTimes = append(sc.SendTimes, rec)
 			slot := len(sc.SendTimes) - 1
 			ag.OnSend = func(at float64, trig bool) {

@@ -51,6 +51,40 @@ type spfQE struct {
 	first netsim.NodeID
 }
 
+// fifo is a growable FIFO with a head index: pops keep the backing
+// array, so steady-state push/pop cycles never allocate.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (f *fifo[T]) len() int { return len(f.buf) - f.head }
+
+func (f *fifo[T]) push(v T) { f.buf = append(f.buf, v) }
+
+func (f *fifo[T]) pop() T {
+	v := f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return v
+}
+
+// lsItem is one received LSA awaiting CPU processing. The agent owns
+// the packet (netsim transferred it at OnRouting) and holds it by
+// generation-checked handle until the flooding work completes, then
+// releases it.
+type lsItem struct {
+	ref    netsim.PacketRef
+	via    netsim.Medium
+	origin netsim.NodeID
+	seq    uint32
+}
+
 // Agent is one router's link-state process.
 type Agent struct {
 	node *netsim.Node
@@ -69,6 +103,16 @@ type Agent struct {
 	refreshLabel string
 	rearmFn      func()
 	sweepFn      func()
+	timerFn      func() // hoisted onTimer method value (re-armed per refresh)
+	procFn       func() // hoisted receive-processing completion (pops pendQ)
+
+	// pendQ parks received LSAs while their processing cost drains
+	// through the CPU model; CPU completions are FIFO (each OccupyThen
+	// lands strictly later than the previous), so procFn pops heads in
+	// scheduling order. encScratch backs LSA encoding; the bytes are
+	// copied into each packet's pooled payload arena by SetPayload.
+	pendQ      fifo[lsItem]
+	encScratch []byte
 
 	// nbrCache holds the sorted adjacency list, valid while nbrVer
 	// matches the network topology version. Callers must not mutate it;
@@ -116,12 +160,19 @@ func NewAgent(node *netsim.Node, cfg Config) *Agent {
 	}
 	a.refreshLabel = fmt.Sprintf("lsa-refresh(%s)", node.Name)
 	a.rearmFn = a.rearmWhenIdle
+	a.timerFn = a.onTimer
 	a.sweepFn = func() {
 		if a.stopped {
 			return
 		}
 		a.sweep()
 		a.scheduleSweep()
+	}
+	a.procFn = func() {
+		it := a.pendQ.pop()
+		pkt := it.ref.Get()
+		a.integrate(pkt.Payload, it.origin, it.seq, it.via)
+		a.node.ReleasePacket(pkt)
 	}
 	node.OnRouting = a.receive
 	return a
@@ -196,7 +247,7 @@ func (a *Agent) Start(startOffset float64) {
 	if startOffset < 0 {
 		panic("linkstate: negative start offset")
 	}
-	a.timerEv = a.node.After(startOffset, a.refreshLabel, a.onTimer)
+	a.timerEv = a.node.After(startOffset, a.refreshLabel, a.timerFn)
 	a.scheduleSweep()
 }
 
@@ -244,22 +295,26 @@ func (a *Agent) rearmWhenIdle() {
 	}
 	a.node.Cancel(a.timerEv)
 	delay := a.cfg.Jitter.Delay(a.r, int(a.node.ID))
-	a.timerEv = a.node.After(delay, a.refreshLabel, a.onTimer)
+	a.timerEv = a.node.After(delay, a.refreshLabel, a.timerFn)
 }
 
-// flood encodes an LSA and transmits it on every medium.
+// flood encodes an LSA into the agent's scratch buffer and transmits it
+// on every medium.
 func (a *Agent) flood(lsa LSA, except netsim.Medium) {
-	payload, err := Encode(lsa)
+	payload, err := EncodeInto(a.encScratch[:0], lsa)
 	if err != nil {
 		panic(err) // own adjacency lists are bounded by the topology
 	}
+	a.encScratch = payload
 	a.floodRaw(payload, except)
 }
 
 // floodRaw transmits an already-encoded LSA on every medium except the
 // one it arrived on. Re-flooding reuses the incoming payload bytes —
 // Encode is canonical, so re-encoding the decoded LSA would reproduce
-// them anyway.
+// them anyway. SetPayload copies them into each outgoing packet's own
+// arena, so the source (scratch buffer or an about-to-be-released
+// incoming packet) may be reused immediately.
 func (a *Agent) floodRaw(payload []byte, except netsim.Medium) {
 	net := a.node.Net()
 	for i, nm := 0, a.node.NumMedia(); i < nm; i++ {
@@ -268,7 +323,7 @@ func (a *Agent) floodRaw(payload []byte, except netsim.Medium) {
 			continue
 		}
 		pkt := net.NewPacket(netsim.KindRouting, a.node.ID, netsim.Broadcast, 28+len(payload))
-		pkt.Payload = payload
+		pkt.SetPayload(payload)
 		a.node.SendOn(m, netsim.Broadcast, pkt)
 		a.stats.Flooded++
 	}
@@ -277,22 +332,32 @@ func (a *Agent) floodRaw(payload []byte, except netsim.Medium) {
 // receive handles an incoming LSA: CPU cost, dedup by sequence number,
 // store + re-flood + SPF when new. Only the fixed-size header is decoded
 // here; the duplicate path — the common case on a broadcast segment —
-// never touches the neighbor list.
+// never touches the neighbor list. netsim transfers packet ownership
+// here; every path ends in ReleasePacket — immediately for malformed
+// frames and synchronous processing, or from procFn once the CPU
+// finishes for queued work.
 func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
 	origin, seq, err := PeekHeader(pkt.Payload)
 	if err != nil {
 		a.stats.Malformed++
+		a.node.ReleasePacket(pkt)
 		return
 	}
 	a.stats.Received++
-	payload := pkt.Payload
-	work := func() { a.integrate(payload, origin, seq, via) }
 	if a.node.CPU != nil && a.cfg.ProcessCost > 0 {
-		a.node.CPU.OccupyThen(a.cfg.ProcessCost, work)
+		a.pendQ.push(lsItem{ref: pkt.Ref(), via: via, origin: origin, seq: seq})
+		a.node.CPU.OccupyThen(a.cfg.ProcessCost, a.procFn)
 		return
 	}
-	work()
+	a.integrate(pkt.Payload, origin, seq, via)
+	a.node.ReleasePacket(pkt)
 }
+
+// PendingPackets returns the number of received LSAs the agent is
+// holding while their processing cost drains through the CPU model —
+// packets the agent owns but has not released yet. Leak audits add it to
+// netsim's parked counts.
+func (a *Agent) PendingPackets() int { return a.pendQ.len() }
 
 func (a *Agent) integrate(payload []byte, origin netsim.NodeID, seq uint32, via netsim.Medium) {
 	if a.stopped {

@@ -54,19 +54,35 @@ var (
 //	uint16 magic | uint8 version | uint8 reserved | uint32 origin |
 //	uint32 seq | uint16 count | uint16 reserved | count × uint32 neighbor
 func Encode(l LSA) ([]byte, error) {
+	return EncodeInto(nil, l)
+}
+
+// EncodeInto is Encode writing into dst's backing array (grown as
+// needed) — agents pass a per-agent scratch buffer so steady-state LSA
+// origination allocates nothing. The returned slice aliases dst's array
+// when it was large enough; callers keeping the bytes past the next
+// encode must copy (netsim.Packet.SetPayload does).
+func EncodeInto(dst []byte, l LSA) ([]byte, error) {
 	if len(l.Neighbors) > MaxNeighbors {
 		return nil, fmt.Errorf("%w: %d", ErrTooMany, len(l.Neighbors))
 	}
-	buf := make([]byte, headerLen+neighLen*len(l.Neighbors))
-	binary.BigEndian.PutUint16(buf[0:], magic)
-	buf[2] = version
-	binary.BigEndian.PutUint32(buf[4:], uint32(l.Origin))
-	binary.BigEndian.PutUint32(buf[8:], l.Seq)
-	binary.BigEndian.PutUint16(buf[12:], uint16(len(l.Neighbors)))
-	for i, nb := range l.Neighbors {
-		binary.BigEndian.PutUint32(buf[headerLen+neighLen*i:], uint32(nb))
+	n := headerLen + neighLen*len(l.Neighbors)
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
 	}
-	return buf, nil
+	binary.BigEndian.PutUint16(dst[0:], magic)
+	dst[2] = version
+	dst[3] = 0 // reserved
+	binary.BigEndian.PutUint32(dst[4:], uint32(l.Origin))
+	binary.BigEndian.PutUint32(dst[8:], l.Seq)
+	binary.BigEndian.PutUint16(dst[12:], uint16(len(l.Neighbors)))
+	binary.BigEndian.PutUint16(dst[14:], 0) // reserved
+	for i, nb := range l.Neighbors {
+		binary.BigEndian.PutUint32(dst[headerLen+neighLen*i:], uint32(nb))
+	}
+	return dst, nil
 }
 
 // Decode parses a wire LSA, validating magic, version and length.

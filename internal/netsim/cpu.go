@@ -50,8 +50,22 @@ type CPU struct {
 	node      *Node
 	cfg       CPUConfig
 	busyUntil float64
-	queue     []*Packet
-	drainFn   func() // hoisted method value; scheduled on every Occupy
+	// queue[qhead:] is the input queue of packets parked while forwarding
+	// is stalled. The head index (instead of re-slicing from the front)
+	// keeps the backing array's capacity, so enqueue/drain cycles stop
+	// allocating once the queue has reached its high-water size.
+	queue []*Packet
+	qhead int
+	// scratch is the drain double buffer: drain swaps it with queue so
+	// dispatching can re-enter enqueueOrDrop without aliasing, and both
+	// backing arrays are reused forever.
+	scratch []*Packet
+	// steps holds packets popped for per-packet ForwardCost work whose
+	// cpu-work-done event has not fired yet (FIFO: completions are
+	// scheduled in pop order at monotone times).
+	steps   ring[*Packet]
+	drainFn func() // hoisted method value; scheduled on every Occupy
+	stepFn  func() // hoisted per-packet forward-cost completion
 	// TotalBusy accumulates occupied seconds, for utilization reports.
 	TotalBusy float64
 }
@@ -65,6 +79,11 @@ func newCPU(nd *Node, cfg CPUConfig) *CPU {
 	}
 	c := &CPU{node: nd, cfg: cfg}
 	c.drainFn = c.drain
+	c.stepFn = func() {
+		pkt := c.steps.pop()
+		c.node.dispatch(pkt)
+		c.drain()
+	}
 	return c
 }
 
@@ -110,14 +129,29 @@ func (c *CPU) OccupyThen(d float64, fn func()) {
 	c.node.Schedule(done, "cpu-work-done", fn)
 }
 
+// qlen returns the current input-queue occupancy.
+func (c *CPU) qlen() int { return len(c.queue) - c.qhead }
+
 // enqueueOrDrop buffers a data packet that arrived while forwarding is
 // stalled, dropping on overflow.
 func (c *CPU) enqueueOrDrop(pkt *Packet) {
-	if len(c.queue) >= c.cfg.InputQueueCap {
+	if c.qlen() >= c.cfg.InputQueueCap {
 		c.node.dropHere(pkt, DropCPUBusy)
 		return
 	}
 	c.queue = append(c.queue, pkt)
+}
+
+// flushQueue drops every queued packet (node crash), keeping the backing
+// array's capacity for the node's next life.
+func (c *CPU) flushQueue(why DropReason) {
+	for i := c.qhead; i < len(c.queue); i++ {
+		pkt := c.queue[i]
+		c.queue[i] = nil
+		c.node.dropHere(pkt, why)
+	}
+	c.queue = c.queue[:0]
+	c.qhead = 0
 }
 
 // drain dispatches buffered packets once the CPU becomes idle. With a
@@ -129,20 +163,28 @@ func (c *CPU) drain() {
 		return // more work arrived; its own drain will run later
 	}
 	if c.cfg.ForwardCost == 0 {
-		q := c.queue
-		c.queue = nil
-		for _, pkt := range q {
+		// Swap to the scratch buffer before dispatching: packets injected
+		// by delivery handlers may re-enter enqueueOrDrop, which must not
+		// append to the slice being iterated.
+		q := c.queue[c.qhead:]
+		c.queue, c.scratch = c.scratch[:0], c.queue
+		c.qhead = 0
+		for i, pkt := range q {
+			q[i] = nil
 			c.node.dispatch(pkt)
 		}
 		return
 	}
-	if len(c.queue) == 0 {
+	if c.qlen() == 0 {
 		return
 	}
-	pkt := c.queue[0]
-	c.queue = c.queue[1:]
-	c.OccupyThen(c.cfg.ForwardCost, func() {
-		c.node.dispatch(pkt)
-		c.drain()
-	})
+	pkt := c.queue[c.qhead]
+	c.queue[c.qhead] = nil
+	c.qhead++
+	if c.qhead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qhead = 0
+	}
+	c.steps.push(pkt)
+	c.OccupyThen(c.cfg.ForwardCost, c.stepFn)
 }

@@ -20,8 +20,11 @@ type lanFrame struct {
 }
 
 type lanTx struct {
-	busy  bool
+	busy bool
+	// queue[qhead:] is the output queue; the head index keeps the backing
+	// array's capacity across busy periods (see txState.qpop).
 	queue []lanFrame
+	qhead int
 	// inflight holds serialized frames in propagation order; arrive pops
 	// the head (arrival times are monotone per transmitter).
 	inflight ring[lanFrame]
@@ -29,6 +32,19 @@ type lanTx struct {
 	// the head in-flight frame. Hoisted: no per-frame closures.
 	txDone func()
 	arrive func()
+}
+
+func (st *lanTx) qlen() int { return len(st.queue) - st.qhead }
+
+func (st *lanTx) qpop() lanFrame {
+	fr := st.queue[st.qhead]
+	st.queue[st.qhead] = lanFrame{}
+	st.qhead++
+	if st.qhead == len(st.queue) {
+		st.queue = st.queue[:0]
+		st.qhead = 0
+	}
+	return fr
 }
 
 // LAN is an idealized broadcast segment (an Ethernet without collisions):
@@ -69,10 +85,8 @@ func (n *Network) NewLAN(members []*Node, cfg LANConfig) *LAN {
 		from, st := m, &lanTx{}
 		st.txDone = func() {
 			st.busy = false
-			if len(st.queue) > 0 {
-				next := st.queue[0]
-				st.queue = st.queue[1:]
-				l.startTx(from, st, next)
+			if st.qlen() > 0 {
+				l.startTx(from, st, st.qpop())
 			}
 		}
 		st.arrive = func() {
@@ -141,11 +155,13 @@ func (l *LAN) Transmit(pkt *Packet, from *Node, to NodeID) {
 	}
 	if l.down {
 		l.net.dropAt(from, DropLinkDown)
+		l.net.releaseAt(from, pkt)
 		return
 	}
 	if st.busy {
-		if len(st.queue) >= l.cfg.QueueCap {
+		if st.qlen() >= l.cfg.QueueCap {
 			l.net.dropAt(from, DropQueueOverflow)
+			l.net.releaseAt(from, pkt)
 			return
 		}
 		st.queue = append(st.queue, lanFrame{pkt: pkt, to: to})
@@ -176,6 +192,7 @@ func (l *LAN) deliver(pkt *Packet, from *Node, to NodeID) {
 		// frame, charged to the transmitter (mirroring Link, where the
 		// receiving end accounts the loss once).
 		l.net.dropAt(from, DropLinkDown)
+		l.net.releaseAt(from, pkt)
 		return
 	}
 	if to == Broadcast {
@@ -183,11 +200,12 @@ func (l *LAN) deliver(pkt *Packet, from *Node, to NodeID) {
 			if m == from {
 				continue
 			}
-			// Each receiver gets its own shallow copy so per-node TTL and
-			// bookkeeping do not interfere.
-			cp := *pkt
-			m.receive(&cp, l)
+			// Each receiver gets its own pooled copy (same datagram id, own
+			// TTL/payload/path) so per-node bookkeeping does not interfere;
+			// the original frame's slot is released once every copy is out.
+			m.receive(l.net.clonePacket(from, pkt), l)
 		}
+		l.net.releaseAt(from, pkt)
 		return
 	}
 	for _, m := range l.members {
@@ -197,4 +215,5 @@ func (l *LAN) deliver(pkt *Packet, from *Node, to NodeID) {
 		}
 	}
 	l.net.dropAt(from, DropNoRoute)
+	l.net.releaseAt(from, pkt)
 }

@@ -152,8 +152,12 @@ func (l *Link) SetCostAt(t float64, c uint32) {
 func (l *Link) Endpoints() [2]*Node { return l.ends }
 
 type txState struct {
-	busy  bool
+	busy bool
+	// queue[qhead:] is the output queue. Popping advances the head index
+	// instead of re-slicing from the front, so the backing array's
+	// capacity survives busy periods and steady state never reallocates.
 	queue []*Packet
+	qhead int
 	// inflight holds serialized packets in propagation order; arrive pops
 	// the head. Arrival times are monotone within a direction (the
 	// transmitter is serial), so FIFO order is arrival order.
@@ -163,6 +167,19 @@ type txState struct {
 	// schedules them without allocating a fresh closure.
 	txDone func()
 	arrive func()
+}
+
+func (st *txState) qlen() int { return len(st.queue) - st.qhead }
+
+func (st *txState) qpop() *Packet {
+	pkt := st.queue[st.qhead]
+	st.queue[st.qhead] = nil
+	st.qhead++
+	if st.qhead == len(st.queue) {
+		st.queue = st.queue[:0]
+		st.qhead = 0
+	}
+	return pkt
 }
 
 // Connect creates a link between a and b. It panics if a == b.
@@ -183,10 +200,8 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 		l.tx[d].txDone = func() {
 			st := &l.tx[d]
 			st.busy = false
-			if len(st.queue) > 0 {
-				next := st.queue[0]
-				st.queue = st.queue[1:]
-				l.startTx(d, next)
+			if st.qlen() > 0 {
+				l.startTx(d, st.qpop())
 			}
 		}
 		l.tx[d].arrive = func() {
@@ -205,6 +220,7 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 func (l *Link) deliverTo(dst *Node, pkt *Packet) {
 	if l.down[l.dir(dst)] {
 		l.net.dropAt(dst, DropLinkDown)
+		l.net.releaseAt(dst, pkt)
 		return
 	}
 	dst.receive(pkt, l)
@@ -229,7 +245,7 @@ func (l *Link) Peer(nd *Node) *Node {
 // QueueLen returns the output-queue length for the direction whose sender
 // is from.
 func (l *Link) QueueLen(from *Node) int {
-	return len(l.tx[l.dir(from)].queue)
+	return l.tx[l.dir(from)].qlen()
 }
 
 func (l *Link) dir(from *Node) int {
@@ -250,12 +266,14 @@ func (l *Link) Transmit(pkt *Packet, from *Node, _ NodeID) {
 	d := l.dir(from)
 	if l.down[d] {
 		l.net.dropAt(from, DropLinkDown)
+		l.net.releaseAt(from, pkt)
 		return
 	}
 	st := &l.tx[d]
 	if st.busy {
-		if len(st.queue) >= l.cfg.QueueCap {
+		if st.qlen() >= l.cfg.QueueCap {
 			l.net.dropAt(from, DropQueueOverflow)
+			l.net.releaseAt(from, pkt)
 			return
 		}
 		st.queue = append(st.queue, pkt)

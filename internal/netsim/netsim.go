@@ -30,6 +30,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"routesync/internal/des"
@@ -69,6 +70,13 @@ func (k Kind) String() string {
 
 // Packet is one simulated datagram. Payload carries protocol data (e.g. an
 // encoded routing update); the simulator never inspects it.
+//
+// Packets created through Network.NewPacket are pooled slots: a terminal
+// sink (delivery, any drop) returns the slot to its logical process's
+// free list, and the next NewPacket there reuses it — the hot path
+// allocates nothing at steady state. See pktpool.go for the ownership
+// rules and PacketRef for generation-checked handles. Packet literals
+// built directly by tests bypass the pool and behave as before.
 type Packet struct {
 	ID      uint64
 	Kind    Kind
@@ -84,8 +92,18 @@ type Packet struct {
 	// append a Hop — the record-route option, used by the traceroute
 	// workload and by tests that assert forwarding paths.
 	RecordRoute bool
-	// Hops is the recorded path (only when RecordRoute is set).
+	// Hops is the recorded path (only when RecordRoute is set). The
+	// backing array is pooled scratch owned by the slot; handlers keeping
+	// a path beyond their callback must copy it.
 	Hops []Hop
+
+	// Pool bookkeeping (see pktpool.go). gen is bumped on every release
+	// so stale PacketRefs detect reuse; payloadBuf is the slot's retained
+	// payload arena, sized by its high-water mark.
+	gen        uint32
+	pooled     bool
+	live       bool
+	payloadBuf []byte
 }
 
 // Hop is one record-route entry.
@@ -222,6 +240,12 @@ type Network struct {
 	// phantomPktSeq numbers packets whose src is not a real node.
 	phantomPktSeq uint64
 	obs           des.Observer
+	// pool is the unpartitioned network's packet slot pool (also the
+	// source for phantom-src packets); each partition owns its own.
+	pool pktPool
+	// wdone synchronizes partition worker goroutines with the window
+	// coordinator (see runPartitioned).
+	wdone sync.WaitGroup
 }
 
 // NewNetwork creates an empty network with the given seed.
@@ -302,7 +326,11 @@ func (n *Network) Node(id NodeID) *Node {
 	return n.nodes[id]
 }
 
-// Nodes returns all nodes in creation order.
+// Nodes returns a copy of all nodes in creation order. The copy makes it
+// safe to hold across topology setup, but costs an allocation per call —
+// it is a setup/reporting helper, not a hot-path accessor. Per-packet
+// and per-event code should iterate NumNodes/Node(id) instead (ids are
+// dense), which touches the live slice without copying.
 func (n *Network) Nodes() []*Node { return append([]*Node(nil), n.nodes...) }
 
 // NumNodes returns the number of nodes; node ids are dense in
@@ -318,29 +346,36 @@ func (n *Network) TopologyVersion() uint64 { return n.topoVer.Load() }
 // bumpTopology invalidates topology-derived caches.
 func (n *Network) bumpTopology() { n.topoVer.Add(1) }
 
-// NewPacket allocates a packet with a fresh id and the current timestamp.
-// Ids are drawn from the source node's counter (high bits node, low bits
-// per-node sequence) so id assignment commutes across partitions. A src
-// outside the node table (tests injecting phantom senders) falls back to
-// a network-level counter in a reserved id range.
+// NewPacket returns a packet with a fresh id and the current timestamp,
+// drawn from the creating logical process's slot pool (allocation-free at
+// steady state — see pktpool.go). Ids are drawn from the source node's
+// counter (high bits node, low bits per-node sequence) so id assignment
+// commutes across partitions. A src outside the node table (tests
+// injecting phantom senders) falls back to a network-level counter in a
+// reserved id range and the network-level pool.
 func (n *Network) NewPacket(kind Kind, src, dst NodeID, size int) *Packet {
-	pkt := &Packet{
-		Kind: kind,
-		Src:  src,
-		Dst:  dst,
-		Size: size,
-		TTL:  64,
-	}
+	var pkt *Packet
 	if int(src) >= 0 && int(src) < len(n.nodes) {
 		nd := n.nodes[src]
+		pkt = n.poolFor(nd).get()
 		nd.pktSeq++
 		pkt.ID = (uint64(src)+1)<<38 | nd.pktSeq
 		pkt.Created = nd.Now()
 	} else {
+		pkt = n.pool.get()
 		n.phantomPktSeq++
 		pkt.ID = uint64(1)<<63 | n.phantomPktSeq
 		pkt.Created = n.Now()
 	}
+	pkt.Kind = kind
+	pkt.Src = src
+	pkt.Dst = dst
+	pkt.Size = size
+	pkt.TTL = 64
+	// Payload and Hops were cleared when the slot was released; the
+	// workload-defined fields must be reset here.
+	pkt.Seq = 0
+	pkt.RecordRoute = false
 	return pkt
 }
 

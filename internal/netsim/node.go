@@ -121,9 +121,12 @@ func (nd *Node) Stats() NodeStats {
 	return snap
 }
 
+// dropHere counts a drop against this node and the network and releases
+// the packet's slot — every node-level drop is a terminal sink.
 func (nd *Node) dropHere(pkt *Packet, why DropReason) {
 	nd.stats.dropped[dropIndex(why)]++
 	nd.net.dropAt(nd, why)
+	nd.net.releaseAt(nd, pkt)
 }
 
 // Net returns the owning network.
@@ -203,11 +206,7 @@ func (nd *Node) Failed() bool { return nd.failed }
 func (nd *Node) SetFailed(failed bool) {
 	nd.failed = failed
 	if failed && nd.CPU != nil {
-		q := nd.CPU.queue
-		nd.CPU.queue = nil
-		for _, pkt := range q {
-			nd.dropHere(pkt, DropNodeDown)
-		}
+		nd.CPU.flushQueue(DropNodeDown)
 	}
 }
 
@@ -243,10 +242,13 @@ func (nd *Node) receive(pkt *Packet, via Medium) {
 		// occupies the CPU).
 		nd.stats.routingIn++
 		if nd.OnRouting != nil {
+			// Ownership transfers to the agent, which releases the slot
+			// when it finishes processing the update.
 			nd.OnRouting(pkt, via)
 			return
 		}
 		nd.net.countersFor(nd).delivered++
+		nd.net.releaseAt(nd, pkt)
 		return
 	}
 	if nd.CPU != nil && nd.CPU.BlocksForwarding() {
@@ -268,12 +270,17 @@ func (nd *Node) dispatch(pkt *Packet) {
 	nd.forward(pkt)
 }
 
+// deliverLocal consumes a packet at its destination: the OnDeliver
+// handler borrows it for the duration of the call, and the slot is
+// released when the handler returns (handlers keeping payload or path
+// data must copy it).
 func (nd *Node) deliverLocal(pkt *Packet) {
 	nd.net.countersFor(nd).delivered++
 	nd.stats.deliveredLocal++
 	if fn, ok := nd.OnDeliver[pkt.Kind]; ok {
 		fn(pkt)
 	}
+	nd.net.releaseAt(nd, pkt)
 }
 
 // forward sends a transit packet toward its destination via the FIB.
@@ -300,6 +307,7 @@ func (nd *Node) route(pkt *Packet) {
 		// A crashed node generates nothing; workloads scheduled on it
 		// lose their packets at the source.
 		nd.net.dropAt(nd, DropNodeDown)
+		nd.net.releaseAt(nd, pkt)
 		return
 	}
 	if pkt.Dst == nd.ID {
@@ -311,6 +319,7 @@ func (nd *Node) route(pkt *Packet) {
 		// Counted network-wide but not against the node: the packet never
 		// traversed the forwarding path.
 		nd.net.dropAt(nd, DropNoRoute)
+		nd.net.releaseAt(nd, pkt)
 		return
 	}
 	eg.Via.Transmit(pkt, nd, eg.NextHop)

@@ -3,7 +3,6 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"routesync/internal/des"
 )
@@ -38,21 +37,76 @@ type boundaryEvent struct {
 	link *Link
 }
 
+// windowCmd is one coordinator→worker instruction: run a window to wend
+// (strictly before, or inclusive for the final horizon pass), or quit.
+type windowCmd struct {
+	wend      float64
+	inclusive bool
+	quit      bool
+}
+
+// arrival is a pooled boundary-arrival slot: the event payload plus a
+// closure allocated once per slot, so scheduling a cross-partition
+// delivery never allocates at steady state. The closure recycles its own
+// slot after firing.
+type arrival struct {
+	e  boundaryEvent
+	fn func()
+}
+
 // partition is one logical process: a node subset on a private simulator
-// with private counters and a private outbox of boundary arrivals.
+// with private counters, a private packet pool, and a private outbox of
+// boundary arrivals.
 type partition struct {
 	idx   int
 	sim   *des.Simulator
 	nodes []*Node
 	count counterSet
+	net   *Network
+	// pool is this logical process's packet slot pool (see pktpool.go).
+	pool pktPool
 	// outbox collects boundary arrivals produced while this partition
 	// executes a window; only this partition's goroutine (or the
 	// single-threaded setup phase) appends, and only the coordinator
-	// drains it, strictly after the window barrier.
+	// drains it, strictly after the window barrier. The backing array is
+	// reused across windows (drained to [:0], never reallocated).
 	outbox []boundaryEvent
+	// arrFree is the free list of arrival slots scheduled into this
+	// partition's simulator; arrLive counts slots scheduled but not yet
+	// fired. The coordinator pops slots between windows and each slot's
+	// own firing (on this partition's goroutine) pushes it back — both
+	// sides are ordered by the window barrier, so no lock is needed.
+	arrFree []*arrival
+	arrLive int
+	// start carries window commands to this partition's worker goroutine;
+	// runFn is the worker body. Both are created once at Partition so a
+	// RunUntil call allocates neither channels nor closures.
+	start chan windowCmd
+	runFn func()
 }
 
 func (p *partition) send(e boundaryEvent) { p.outbox = append(p.outbox, e) }
+
+// getArrival pops a free arrival slot, or mints one (with its hoisted
+// firing closure) when the pool is empty. Called only by the coordinator
+// between windows.
+func (p *partition) getArrival() *arrival {
+	p.arrLive++
+	if k := len(p.arrFree); k > 0 {
+		ar := p.arrFree[k-1]
+		p.arrFree = p.arrFree[:k-1]
+		return ar
+	}
+	ar := &arrival{}
+	ar.fn = func() {
+		e := ar.e
+		ar.e = boundaryEvent{}
+		p.arrFree = append(p.arrFree, ar)
+		p.arrLive--
+		e.link.deliverTo(e.dst, e.pkt)
+	}
+	return ar
+}
 
 // Partition splits the network into k logical processes. owner maps every
 // node id to its partition index in [0, k). It must be called after the
@@ -81,7 +135,23 @@ func (n *Network) Partition(k int, owner func(NodeID) int) {
 		if n.obs != nil {
 			sim.SetObserver(n.obs)
 		}
-		parts[i] = &partition{idx: i, sim: sim}
+		p := &partition{idx: i, sim: sim, net: n, start: make(chan windowCmd)}
+		p.runFn = func() {
+			for {
+				cmd := <-p.start
+				if cmd.quit {
+					n.wdone.Done()
+					return
+				}
+				if cmd.inclusive {
+					p.sim.RunUntil(cmd.wend)
+				} else {
+					p.sim.RunBefore(cmd.wend)
+				}
+				n.wdone.Done()
+			}
+		}
+		parts[i] = p
 	}
 	for _, nd := range n.nodes {
 		o := owner(nd.ID)
@@ -149,21 +219,42 @@ func (n *Network) Lookahead() float64 { return n.lookahead }
 // simulators. Called only from the coordinator, strictly between windows
 // (or during single-threaded setup/teardown), so no partition goroutine
 // is running. Insertion order is irrelevant: the carried keys give
-// boundary arrivals their sequential-run order.
+// boundary arrivals their sequential-run order. Each arrival rides a
+// pooled slot with a pre-built closure, and the outbox is drained in
+// place, so a steady-state window exchanges its whole batch without
+// allocating.
 func (n *Network) exchange() {
 	for _, p := range n.parts {
 		for i := range p.outbox {
 			e := p.outbox[i]
-			e.dst.part.sim.ScheduleKeyed(e.at, e.key, "boundary-arrival", func() {
-				e.link.deliverTo(e.dst, e.pkt)
-			})
+			dp := e.dst.part
+			ar := dp.getArrival()
+			ar.e = e
+			dp.sim.ScheduleKeyed(e.at, e.key, "boundary-arrival", ar.fn)
+			p.outbox[i] = boundaryEvent{} // drop the packet reference
 		}
 		p.outbox = p.outbox[:0]
 	}
 }
 
+// runWindow runs one synchronized window on every worker: signal all
+// partitions, then wait for all to finish. The coordinator writes the
+// command before the channel send, which orders it ahead of the worker's
+// read; wdone.Wait orders every worker's writes before the coordinator
+// continues.
+func (n *Network) runWindow(cmd windowCmd) {
+	n.wdone.Add(len(n.parts))
+	for _, p := range n.parts {
+		p.start <- cmd
+	}
+	n.wdone.Wait()
+}
+
 // runPartitioned advances all logical processes to the horizon with
-// bounded-window barrier synchronization.
+// bounded-window barrier synchronization. Workers are spawned per call
+// from per-partition bodies built at Partition time and told to quit
+// after the final window, so a network never retains goroutines between
+// runs and a steady-state call allocates nothing.
 func (n *Network) runPartitioned(horizon float64) {
 	if n.Sim.Pending() > 0 {
 		panic("netsim: events pending on the root simulator of a partitioned network; schedule runtime events through nodes")
@@ -180,35 +271,8 @@ func (n *Network) runPartitioned(horizon float64) {
 		return
 	}
 
-	// One worker goroutine per partition for the whole call; each window
-	// is a start-signal/done-wait round trip. The coordinator writes
-	// wend/inclusive before signalling, which the channel send orders
-	// ahead of the worker's read.
-	type windowCmd struct {
-		wend      float64
-		inclusive bool
-	}
-	var done sync.WaitGroup
-	starts := make([]chan windowCmd, len(n.parts))
-	for i, p := range n.parts {
-		starts[i] = make(chan windowCmd)
-		go func(p *partition, start <-chan windowCmd) {
-			for cmd := range start {
-				if cmd.inclusive {
-					p.sim.RunUntil(cmd.wend)
-				} else {
-					p.sim.RunBefore(cmd.wend)
-				}
-				done.Done()
-			}
-		}(p, starts[i])
-	}
-	runWindow := func(wend float64, inclusive bool) {
-		done.Add(len(n.parts))
-		for _, c := range starts {
-			c <- windowCmd{wend: wend, inclusive: inclusive}
-		}
-		done.Wait()
+	for _, p := range n.parts {
+		go p.runFn()
 	}
 
 	for {
@@ -229,15 +293,13 @@ func (n *Network) runPartitioned(horizon float64) {
 		// Strictly-before execution: an event exactly at wend must order
 		// against boundary arrivals landing at wend, which are only
 		// delivered at the barrier below.
-		runWindow(wend, false)
+		n.runWindow(windowCmd{wend: wend})
 		n.exchange()
 	}
 	// Inclusive pass: execute events exactly at the horizon and leave
 	// every clock there. Boundary arrivals they produce land at
 	// > horizon (positive delay) and stay queued for the next call.
-	runWindow(horizon, true)
-	for _, c := range starts {
-		close(c)
-	}
+	n.runWindow(windowCmd{wend: horizon, inclusive: true})
+	n.runWindow(windowCmd{quit: true})
 	n.exchange()
 }

@@ -95,6 +95,45 @@ type Stats struct {
 	RequestsAnswered uint64
 }
 
+// fifo is a growable FIFO with a head index: pops keep the backing
+// array, so steady-state push/pop cycles never allocate. The agents use
+// it for work parked behind the CPU-occupancy model.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (f *fifo[T]) len() int { return len(f.buf) - f.head }
+
+func (f *fifo[T]) push(v T) { f.buf = append(f.buf, v) }
+
+func (f *fifo[T]) pop() T {
+	v := f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return v
+}
+
+// recvItem is one received update awaiting CPU processing. The agent
+// owns the packet (netsim transferred it at OnRouting) and holds it by
+// generation-checked handle until the work completes, then releases it.
+type recvItem struct {
+	ref netsim.PacketRef
+	via netsim.Medium
+	gen uint64
+}
+
+// prepItem is one pending update-preparation completion.
+type prepItem struct {
+	resetTimer bool
+	gen        uint64
+}
+
 // Agent is one router's routing process.
 type Agent struct {
 	node *netsim.Node
@@ -108,6 +147,9 @@ type Agent struct {
 	timerLabel string // hoisted: one fmt.Sprintf per agent, not per re-arm
 	rearmFn    func() // hoisted rearmWhenIdle closure
 	sweepFn    func() // hoisted sweep closure
+	timerFn    func() // hoisted onTimer method value (armAt runs per period)
+	procFn     func() // hoisted receive-processing completion (pops recvQ)
+	prepFn     func() // hoisted preparation completion (pops prepQ)
 	lastExpiry float64
 	lastTrig   float64
 	stats      Stats
@@ -116,6 +158,19 @@ type Agent struct {
 	// callbacks issued before the stop compare their captured gen so a
 	// reboot (Crash/Restart) never processes work from a previous life.
 	gen uint64
+
+	// recvQ/prepQ park in-flight CPU work; CPU completions are FIFO
+	// (each OccupyThen lands strictly later than the previous), so the
+	// hoisted procFn/prepFn pop their queue heads in scheduling order.
+	recvQ fifo[recvItem]
+	prepQ fifo[prepItem]
+	// Scratch buffers for the steady-state update cycle: entries exported
+	// for an outgoing update, its encoded bytes (copied into the packet's
+	// pooled payload arena by SetPayload), and entries decoded from an
+	// incoming one.
+	expScratch []Entry
+	encScratch []byte
+	entScratch []Entry
 
 	// OnSend, if set, observes every update transmission (experiments
 	// use it for cluster detection on the packet-level substrate).
@@ -160,12 +215,27 @@ func NewAgent(node *netsim.Node, cfg Config) *Agent {
 	a.table.SetHoldDown(cfg.Profile.HoldDown)
 	a.timerLabel = fmt.Sprintf("routing-timer(%s)", node.Name)
 	a.rearmFn = a.rearmWhenIdle
+	a.timerFn = a.onTimer
 	a.sweepFn = func() {
 		if a.stopped {
 			return
 		}
 		a.sweep()
 		a.scheduleSweep()
+	}
+	a.procFn = func() {
+		it := a.recvQ.pop()
+		pkt := it.ref.Get()
+		if a.gen == it.gen {
+			a.integrateWire(pkt.Payload, it.via)
+		}
+		a.node.ReleasePacket(pkt)
+	}
+	a.prepFn = func() {
+		it := a.prepQ.pop()
+		if it.resetTimer && a.gen == it.gen {
+			a.rearmWhenIdle()
+		}
 	}
 	node.OnRouting = a.receive
 	return a
@@ -202,20 +272,21 @@ func (a *Agent) Start(startOffset float64) {
 // sendRequest broadcasts a table request on every medium.
 func (a *Agent) sendRequest() {
 	net := a.node.Net()
-	payload, err := Encode(Message{Router: a.node.ID, Request: true})
+	payload, err := EncodeInto(a.encScratch[:0], Message{Router: a.node.ID, Request: true})
 	if err != nil {
 		panic(err)
 	}
-	for _, m := range a.node.Media() {
+	a.encScratch = payload
+	for i := 0; i < a.node.NumMedia(); i++ {
 		pkt := net.NewPacket(netsim.KindRouting, a.node.ID, netsim.Broadcast, 28+len(payload))
-		pkt.Payload = payload
-		a.node.SendOn(m, netsim.Broadcast, pkt)
+		pkt.SetPayload(payload)
+		a.node.SendOn(a.node.MediumAt(i), netsim.Broadcast, pkt)
 	}
 	a.stats.RequestsSent++
 }
 
 func (a *Agent) armAt(at float64) {
-	a.timerEv = a.node.Schedule(at, a.timerLabel, a.onTimer)
+	a.timerEv = a.node.Schedule(at, a.timerLabel, a.timerFn)
 	a.stats.TimerResets++
 	if a.OnTimerReset != nil {
 		a.OnTimerReset(a.node.Now(), at)
@@ -255,8 +326,10 @@ func (a *Agent) Crash() {
 	for dst := range a.node.FIB {
 		delete(a.node.FIB, dst)
 	}
-	a.table = NewTable(a.cfg.Profile.Infinity)
-	a.table.SetHoldDown(a.cfg.Profile.HoldDown)
+	// Reset in place: the table's map buckets, route structs and scratch
+	// survive onto the free lists, so repeated crash/reboot cycles stop
+	// allocating once the first life's high-water marks are reached.
+	a.table.Reset()
 	a.node.SetFailed(true)
 }
 
@@ -302,17 +375,14 @@ func (a *Agent) sendUpdate(triggered, resetTimer bool) {
 	a.broadcast(triggered)
 	prep := math.Max(a.cfg.Costs.MinPrepare,
 		a.cfg.Costs.PerRoutePrepare*float64(a.table.Len()+a.cfg.ExtraRoutes))
-	gen := a.gen
-	after := func() {
-		if resetTimer && a.gen == gen {
-			a.rearmWhenIdle()
-		}
-	}
 	if a.node.CPU != nil && prep > 0 {
-		a.node.CPU.OccupyThen(prep, after)
+		a.prepQ.push(prepItem{resetTimer: resetTimer, gen: a.gen})
+		a.node.CPU.OccupyThen(prep, a.prepFn)
 		return
 	}
-	after()
+	if resetTimer {
+		a.rearmWhenIdle()
+	}
 }
 
 // rearmWhenIdle re-arms the periodic timer once the CPU backlog (the
@@ -343,18 +413,21 @@ func (a *Agent) rearmWhenIdle() {
 }
 
 // broadcast transmits the table on every attached medium, applying split
-// horizon per medium.
+// horizon per medium. Export, encode and payload all ride per-agent (or
+// per-packet-slot) scratch, so a steady-state update allocates nothing.
 func (a *Agent) broadcast(triggered bool) {
 	net := a.node.Net()
-	for _, m := range a.node.Media() {
-		entries := a.table.Export(m, a.cfg.Profile.SplitHorizon, a.cfg.Profile.PoisonReverse)
-		entries = a.padSynthetic(entries)
-		payload, err := Encode(Message{Router: a.node.ID, Triggered: triggered, Entries: entries})
+	for i := 0; i < a.node.NumMedia(); i++ {
+		m := a.node.MediumAt(i)
+		a.expScratch = a.table.ExportInto(a.expScratch[:0], m, a.cfg.Profile.SplitHorizon, a.cfg.Profile.PoisonReverse)
+		a.expScratch = a.padSynthetic(a.expScratch)
+		payload, err := EncodeInto(a.encScratch[:0], Message{Router: a.node.ID, Triggered: triggered, Entries: a.expScratch})
 		if err != nil {
 			panic(err) // table size is bounded by MaxEntries via ExtraRoutes validation
 		}
+		a.encScratch = payload
 		pkt := net.NewPacket(netsim.KindRouting, a.node.ID, netsim.Broadcast, 28+len(payload))
-		pkt.Payload = payload
+		pkt.SetPayload(payload)
 		a.node.SendOn(m, netsim.Broadcast, pkt)
 	}
 	if triggered {
@@ -386,38 +459,58 @@ func (a *Agent) padSynthetic(entries []Entry) []Entry {
 }
 
 // receive handles an incoming routing packet: consume CPU, then fold the
-// update into the table (§3 steps 2/4).
+// update into the table (§3 steps 2/4). netsim transfers packet
+// ownership here; every path ends in ReleasePacket — immediately for
+// drops, synchronous processing and request replies, or from procFn once
+// the CPU finishes for queued work.
 func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
-	msg, err := Decode(pkt.Payload)
+	router, _, request, count, err := PeekHeader(pkt.Payload)
 	if err != nil {
 		a.stats.Malformed++
+		a.node.ReleasePacket(pkt)
 		return
 	}
-	if msg.Router == a.node.ID {
-		return // our own broadcast reflected back; ignore
+	if router == a.node.ID {
+		a.node.ReleasePacket(pkt) // our own broadcast reflected back; ignore
+		return
 	}
 	a.stats.Received++
-	if msg.Request {
+	if request {
 		// Answer with a full update without resetting our own timer
 		// (RFC 1058: responses to requests are not regular updates).
 		a.stats.RequestsAnswered++
 		a.sendUpdate(false, false)
+		a.node.ReleasePacket(pkt)
 		return
 	}
 	proc := math.Max(a.cfg.Costs.MinProcess,
-		a.cfg.Costs.PerRouteProcess*float64(len(msg.Entries)))
-	gen := a.gen
-	work := func() {
-		if a.gen == gen {
-			a.integrate(msg, via)
-		}
-	}
+		a.cfg.Costs.PerRouteProcess*float64(count))
 	if a.node.CPU != nil && proc > 0 {
-		a.node.CPU.OccupyThen(proc, work)
+		a.recvQ.push(recvItem{ref: pkt.Ref(), via: via, gen: a.gen})
+		a.node.CPU.OccupyThen(proc, a.procFn)
 		return
 	}
-	work()
+	a.integrateWire(pkt.Payload, via)
+	a.node.ReleasePacket(pkt)
 }
+
+// integrateWire decodes a validated update into per-agent scratch and
+// integrates it — the allocation-free path behind both the synchronous
+// branch of receive and the CPU completion.
+func (a *Agent) integrateWire(payload []byte, via netsim.Medium) {
+	router, triggered, _, _, err := PeekHeader(payload)
+	if err != nil {
+		panic("routing: integrateWire on unvalidated payload")
+	}
+	a.entScratch = AppendEntries(a.entScratch[:0], payload)
+	a.integrate(Message{Router: router, Triggered: triggered, Entries: a.entScratch}, via)
+}
+
+// PendingPackets returns the number of received updates the agent is
+// holding while their processing cost drains through the CPU model —
+// packets the agent owns but has not released yet. Leak audits add it to
+// netsim's parked counts.
+func (a *Agent) PendingPackets() int { return a.recvQ.len() }
 
 // integrate applies a decoded update and reacts: FIB programming,
 // triggered-update propagation.

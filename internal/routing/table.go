@@ -1,8 +1,9 @@
 package routing
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"routesync/internal/netsim"
@@ -20,12 +21,26 @@ type Route struct {
 	Local bool
 }
 
-// Table is a distance-vector routing table.
+// Table is a distance-vector routing table. All per-call state (the
+// sorted view, apply/expire result lists, recycled Route structs) is
+// retained scratch, so the steady-state update cycle — export, apply,
+// expire — allocates nothing once the table has reached its high-water
+// size.
 type Table struct {
 	routes   map[netsim.NodeID]*Route
 	infinity uint32
 	holdDown float64
 	holdTill map[netsim.NodeID]float64
+
+	// sorted caches the destination-ordered route list; inserts and
+	// deletes invalidate it (metric/refresh changes keep the order).
+	sorted   []*Route
+	sortedOK bool
+	// free recycles Route structs deleted by Expire or Reset.
+	free []*Route
+	// inst/unre back ApplyResult's slices; expU/expD back Expire's.
+	inst, unre []netsim.NodeID
+	expU, expD []netsim.NodeID
 }
 
 // NewTable creates a table with the given unreachable metric.
@@ -71,21 +86,74 @@ func (t *Table) Get(dest netsim.NodeID) *Route { return t.routes[dest] }
 
 // SetLocal installs the router's own address with metric 0.
 func (t *Table) SetLocal(self netsim.NodeID, now float64) {
-	t.routes[self] = &Route{Dest: self, Metric: 0, NextHop: self, Updated: now, Local: true}
+	if r, ok := t.routes[self]; ok {
+		*r = Route{Dest: self, NextHop: self, Updated: now, Local: true}
+		return
+	}
+	t.routes[self] = t.newRoute(Route{Dest: self, NextHop: self, Updated: now, Local: true})
+	t.sortedOK = false
 }
 
-// Routes returns the entries sorted by destination for deterministic
-// iteration (updates, dumps, tests).
-func (t *Table) Routes() []*Route {
-	out := make([]*Route, 0, len(t.routes))
-	for _, r := range t.routes {
-		out = append(out, r)
+// newRoute returns a recycled (or fresh) Route holding r.
+func (t *Table) newRoute(r Route) *Route {
+	if k := len(t.free); k > 0 {
+		p := t.free[k-1]
+		t.free = t.free[:k-1]
+		*p = r
+		return p
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dest < out[j].Dest })
-	return out
+	p := new(Route)
+	*p = r
+	return p
+}
+
+func cmpRouteDest(a, b *Route) int { return cmp.Compare(a.Dest, b.Dest) }
+
+// sortedRoutes returns the destination-ordered route list, rebuilding
+// the cached view only after an insert or delete. Destinations are
+// unique map keys, so the order is total and deterministic.
+func (t *Table) sortedRoutes() []*Route {
+	if !t.sortedOK {
+		t.sorted = t.sorted[:0]
+		for _, r := range t.routes {
+			t.sorted = append(t.sorted, r)
+		}
+		slices.SortFunc(t.sorted, cmpRouteDest)
+		t.sortedOK = true
+	}
+	return t.sorted
+}
+
+// Routes returns a copy of the entries sorted by destination for
+// deterministic iteration (dumps, tests). Hot paths use ExportInto,
+// which reads the cached sorted view without copying.
+func (t *Table) Routes() []*Route {
+	return append([]*Route(nil), t.sortedRoutes()...)
+}
+
+// Reset clears the table in place for a cold restart (router crash):
+// all routes are recycled onto the free list and the hold-down windows
+// cleared, while the map buckets, sorted view and scratch buffers keep
+// their capacity for the next life. The configured infinity and
+// hold-down are retained.
+func (t *Table) Reset() {
+	for dest, r := range t.routes {
+		t.free = append(t.free, r)
+		delete(t.routes, dest)
+	}
+	for dest := range t.holdTill {
+		delete(t.holdTill, dest)
+	}
+	t.sorted = t.sorted[:0]
+	t.sortedOK = false
 }
 
 // ApplyResult reports what an incoming update changed.
+//
+// Installed and Unreachable are backed by scratch the table reuses: they
+// are valid until the next Apply/ApplyCost call on the same table, which
+// is the lifetime every caller needs (agents react to the result before
+// processing the next update).
 type ApplyResult struct {
 	// Changed is true if any route was added, improved, or re-costed.
 	Changed bool
@@ -118,6 +186,8 @@ func (t *Table) ApplyCost(m Message, via netsim.Medium, now float64, cost uint32
 		panic("routing: link cost must be at least 1")
 	}
 	var res ApplyResult
+	res.Installed = t.inst[:0]
+	res.Unreachable = t.unre[:0]
 	from := m.Router
 
 	// The neighbor itself is reachable at one hop — distance-vector
@@ -130,6 +200,9 @@ func (t *Table) ApplyCost(m Message, via netsim.Medium, now float64, cost uint32
 		}
 		t.applyOne(e, from, via, now, cost, &res)
 	}
+	// Keep the (possibly grown) backing arrays for the next call.
+	t.inst = res.Installed
+	t.unre = res.Unreachable
 	return res
 }
 
@@ -150,7 +223,8 @@ func (t *Table) applyOne(e Entry, from netsim.NodeID, via netsim.Medium, now flo
 		if t.HeldDown(e.Dest, now) {
 			return // hold-down: distrust resurrection rumors
 		}
-		t.routes[e.Dest] = &Route{Dest: e.Dest, Metric: cand, NextHop: from, Via: via, Updated: now}
+		t.routes[e.Dest] = t.newRoute(Route{Dest: e.Dest, Metric: cand, NextHop: from, Via: via, Updated: now})
+		t.sortedOK = false
 		res.Changed = true
 		res.Installed = append(res.Installed, e.Dest)
 	case cur.NextHop == from:
@@ -194,8 +268,11 @@ func (t *Table) applyOne(e Entry, from netsim.NodeID, via netsim.Medium, now flo
 // Expire ages routes: entries unrefreshed for longer than timeout are
 // marked unreachable; unreachable entries older than gcAfter are deleted.
 // It returns the destinations that just became unreachable (for triggered
-// updates) and those deleted.
+// updates) and those deleted. Like ApplyResult's slices, both returned
+// lists are scratch-backed and valid until the next Expire call.
 func (t *Table) Expire(now, timeout, gcAfter float64) (newlyUnreachable, deleted []netsim.NodeID) {
+	newlyUnreachable = t.expU[:0]
+	deleted = t.expD[:0]
 	for dest, r := range t.routes {
 		if r.Local {
 			continue
@@ -204,6 +281,8 @@ func (t *Table) Expire(now, timeout, gcAfter float64) (newlyUnreachable, deleted
 		if r.Metric >= t.infinity {
 			if age > gcAfter {
 				delete(t.routes, dest)
+				t.free = append(t.free, r)
+				t.sortedOK = false
 				deleted = append(deleted, dest)
 			}
 			continue
@@ -214,8 +293,10 @@ func (t *Table) Expire(now, timeout, gcAfter float64) (newlyUnreachable, deleted
 			newlyUnreachable = append(newlyUnreachable, dest)
 		}
 	}
-	sort.Slice(newlyUnreachable, func(i, j int) bool { return newlyUnreachable[i] < newlyUnreachable[j] })
-	sort.Slice(deleted, func(i, j int) bool { return deleted[i] < deleted[j] })
+	slices.Sort(newlyUnreachable)
+	slices.Sort(deleted)
+	t.expU = newlyUnreachable
+	t.expD = deleted
 	return newlyUnreachable, deleted
 }
 
@@ -244,15 +325,20 @@ func (t *Table) String() string {
 // omitted, or — with poison reverse — advertised as unreachable. Local
 // routes are advertised with metric 0.
 func (t *Table) Export(on netsim.Medium, splitHorizon, poisonReverse bool) []Entry {
-	var out []Entry
-	for _, r := range t.Routes() {
+	return t.ExportInto(nil, on, splitHorizon, poisonReverse)
+}
+
+// ExportInto is Export appending onto dst — agents pass a per-agent
+// scratch slice so steady-state update preparation allocates nothing.
+func (t *Table) ExportInto(dst []Entry, on netsim.Medium, splitHorizon, poisonReverse bool) []Entry {
+	for _, r := range t.sortedRoutes() {
 		if splitHorizon && !r.Local && r.Via == on {
 			if poisonReverse {
-				out = append(out, Entry{Dest: r.Dest, Metric: t.infinity})
+				dst = append(dst, Entry{Dest: r.Dest, Metric: t.infinity})
 			}
 			continue
 		}
-		out = append(out, Entry{Dest: r.Dest, Metric: r.Metric})
+		dst = append(dst, Entry{Dest: r.Dest, Metric: r.Metric})
 	}
-	return out
+	return dst
 }

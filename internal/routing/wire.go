@@ -66,26 +66,80 @@ var (
 //	uint16 magic | uint8 version | uint8 flags | uint32 router |
 //	uint16 count | uint16 reserved | count × (uint32 dest, uint32 metric)
 func Encode(m Message) ([]byte, error) {
+	return EncodeInto(nil, m)
+}
+
+// EncodeInto is Encode writing into dst's backing array (grown as
+// needed) — agents pass a per-agent scratch buffer so steady-state
+// update encoding allocates nothing. The returned slice aliases dst's
+// array when it was large enough; callers that keep the bytes past the
+// next encode must copy (netsim.Packet.SetPayload does).
+func EncodeInto(dst []byte, m Message) ([]byte, error) {
 	if len(m.Entries) > MaxEntries {
 		return nil, fmt.Errorf("%w: %d", ErrTooMany, len(m.Entries))
 	}
-	buf := make([]byte, headerLen+entryLen*len(m.Entries))
-	binary.BigEndian.PutUint16(buf[0:], magic)
-	buf[2] = version
+	n := headerLen + entryLen*len(m.Entries)
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	} else {
+		dst = dst[:n]
+	}
+	binary.BigEndian.PutUint16(dst[0:], magic)
+	dst[2] = version
+	dst[3] = 0
 	if m.Triggered {
-		buf[3] |= flagTriggered
+		dst[3] |= flagTriggered
 	}
 	if m.Request {
-		buf[3] |= flagRequest
+		dst[3] |= flagRequest
 	}
-	binary.BigEndian.PutUint32(buf[4:], uint32(m.Router))
-	binary.BigEndian.PutUint16(buf[8:], uint16(len(m.Entries)))
+	binary.BigEndian.PutUint32(dst[4:], uint32(m.Router))
+	binary.BigEndian.PutUint16(dst[8:], uint16(len(m.Entries)))
+	binary.BigEndian.PutUint16(dst[10:], 0) // reserved
 	for i, e := range m.Entries {
 		off := headerLen + entryLen*i
-		binary.BigEndian.PutUint32(buf[off:], uint32(e.Dest))
-		binary.BigEndian.PutUint32(buf[off+4:], e.Metric)
+		binary.BigEndian.PutUint32(dst[off:], uint32(e.Dest))
+		binary.BigEndian.PutUint32(dst[off+4:], e.Metric)
 	}
-	return buf, nil
+	return dst, nil
+}
+
+// PeekHeader validates buf with exactly Decode's checks and returns the
+// header fields without materializing the entry slice — the agents'
+// allocation-free receive path. count is the number of entries present.
+func PeekHeader(buf []byte) (router netsim.NodeID, triggered, request bool, count int, err error) {
+	if len(buf) < headerLen {
+		return 0, false, false, 0, ErrTruncated
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != magic {
+		return 0, false, false, 0, ErrBadMagic
+	}
+	if buf[2] != version {
+		return 0, false, false, 0, fmt.Errorf("%w: %d", ErrBadVersion, buf[2])
+	}
+	count = int(binary.BigEndian.Uint16(buf[8:]))
+	if len(buf) < headerLen+entryLen*count {
+		return 0, false, false, 0, ErrTruncated
+	}
+	triggered = buf[3]&flagTriggered != 0
+	request = buf[3]&flagRequest != 0
+	router = netsim.NodeID(binary.BigEndian.Uint32(buf[4:]))
+	return router, triggered, request, count, nil
+}
+
+// AppendEntries decodes buf's entries onto dst and returns it. buf must
+// have passed PeekHeader; with a reused dst the decode is
+// allocation-free once the scratch reaches its high-water size.
+func AppendEntries(dst []Entry, buf []byte) []Entry {
+	count := int(binary.BigEndian.Uint16(buf[8:]))
+	for i := 0; i < count; i++ {
+		off := headerLen + entryLen*i
+		dst = append(dst, Entry{
+			Dest:   netsim.NodeID(binary.BigEndian.Uint32(buf[off:])),
+			Metric: binary.BigEndian.Uint32(buf[off+4:]),
+		})
+	}
+	return dst
 }
 
 // Decode parses a wire message, validating magic, version and length.
