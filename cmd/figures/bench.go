@@ -16,7 +16,7 @@ import (
 // benchFileName is this PR's entry in the benchmark trajectory; the
 // number advances with the PR sequence so successive snapshots sit side
 // by side in out/.
-const benchFileName = "BENCH_0007.json"
+const benchFileName = "BENCH_0008.json"
 
 // benchResult is one micro-benchmark measurement.
 type benchResult struct {
@@ -78,6 +78,10 @@ func runBench(outDir string) error {
 		{"NetsimChurn/K=1", func(b *testing.B) { bench.NetsimChurn(b, 1) }},
 		{"NetsimChurn/K=2", func(b *testing.B) { bench.NetsimChurn(b, 2) }},
 		{"NetsimChurn/K=6", func(b *testing.B) { bench.NetsimChurn(b, 6) }},
+		{"PathVectorUpdate", bench.PathVectorUpdate},
+		{"NetsimBGP/N=1000/K=1", func(b *testing.B) { bench.NetsimBGP(b, 1000, 1) }},
+		{"NetsimBGP/N=1000/K=2", func(b *testing.B) { bench.NetsimBGP(b, 1000, 2) }},
+		{"NetsimBGP/N=1000/K=8", func(b *testing.B) { bench.NetsimBGP(b, 1000, 8) }},
 		{"NetsimExchange/K=2", func(b *testing.B) { bench.NetsimExchange(b, 2) }},
 		{"NetsimExchange/K=4", func(b *testing.B) { bench.NetsimExchange(b, 4) }},
 	}

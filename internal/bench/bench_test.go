@@ -76,6 +76,14 @@ func BenchmarkNetsimChurn(b *testing.B) {
 	}
 }
 
+func BenchmarkPathVectorUpdate(b *testing.B) { PathVectorUpdate(b) }
+
+func BenchmarkNetsimBGP(b *testing.B) {
+	for _, k := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("N=1000/K=%d", k), func(b *testing.B) { NetsimBGP(b, 1000, k) })
+	}
+}
+
 func BenchmarkNetsimExchange(b *testing.B) {
 	for _, k := range []int{2, 4} {
 		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) { NetsimExchange(b, k) })

@@ -264,6 +264,15 @@ func registerFigures(reg *runner.Registry) {
 		}
 		return ExtChurn(cfg)
 	})
+	fig(reg, "ext_bgp", runner.CostExpensive, func(spec *runner.Spec) *Result {
+		cfg := BGPConfig{Jobs: spec.Jobs, Seed: 1, Obs: spec.DESObserver()}
+		if spec.Quick {
+			cfg.Sizes = []int{300, 800}
+			cfg.MRAIs = []float64{0, 5}
+			cfg.Horizon = 120
+		}
+		return ExtBGP(cfg)
+	})
 	fig(reg, "ext_largen", runner.CostExpensive, func(spec *runner.Spec) *Result {
 		ns, rounds := []int(nil), 0
 		if spec.Quick {

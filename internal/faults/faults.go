@@ -33,7 +33,6 @@ import (
 
 	"routesync/internal/netsim"
 	"routesync/internal/rng"
-	"routesync/internal/routing"
 )
 
 // Kind classifies injected fault events.
@@ -163,9 +162,22 @@ func (in *Injector) FlapLink(l *netsim.Link, cfg FlapConfig) {
 	}
 }
 
+// Rebootable is any protocol agent the injector can crash and reboot.
+// All three protocol families (routing, linkstate, pathvector) satisfy
+// it through the shared internal/protocol kernel, so one churn layer
+// serves every family.
+type Rebootable interface {
+	Node() *netsim.Node
+	// Crash models a power failure: volatile routing state lost, data
+	// plane dead until Restart.
+	Crash()
+	// Restart reboots a stopped agent with the given start offset.
+	Restart(startOffset float64)
+}
+
 // CrashAgent schedules ag to crash at absolute time t (power failure:
 // volatile routing state lost, data plane dead until reboot).
-func (in *Injector) CrashAgent(ag *routing.Agent, t float64) {
+func (in *Injector) CrashAgent(ag Rebootable, t float64) {
 	nd := ag.Node()
 	nd.Schedule(t, "fault-crash", func() { ag.Crash() })
 	in.timeline = append(in.timeline, Event{At: t, Kind: NodeCrash, Node: nd.ID})
@@ -174,7 +186,7 @@ func (in *Injector) CrashAgent(ag *routing.Agent, t float64) {
 // RebootAgent schedules ag to reboot at absolute time t with the given
 // start offset (the delay until its first periodic update; with
 // RequestOnStart the table request goes out immediately).
-func (in *Injector) RebootAgent(ag *routing.Agent, t, startOffset float64) {
+func (in *Injector) RebootAgent(ag Rebootable, t, startOffset float64) {
 	nd := ag.Node()
 	nd.Schedule(t, "fault-reboot", func() { ag.Restart(startOffset) })
 	in.timeline = append(in.timeline, Event{At: t, Kind: NodeReboot, Node: nd.ID})
@@ -195,7 +207,7 @@ type ChurnConfig struct {
 
 // ChurnAgent installs a crash/reboot process on ag, drawn from a stream
 // keyed by the agent's node.
-func (in *Injector) ChurnAgent(ag *routing.Agent, cfg ChurnConfig) {
+func (in *Injector) ChurnAgent(ag Rebootable, cfg ChurnConfig) {
 	if cfg.MeanUp <= 0 || cfg.MeanDown <= 0 || cfg.Horizon <= cfg.Start {
 		panic("faults: invalid churn config")
 	}

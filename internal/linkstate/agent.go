@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"sort"
 
-	"routesync/internal/des"
 	"routesync/internal/jitter"
 	"routesync/internal/netsim"
-	"routesync/internal/rng"
+	"routesync/internal/protocol"
 )
 
 // Config assembles a link-state agent.
@@ -51,68 +50,23 @@ type spfQE struct {
 	first netsim.NodeID
 }
 
-// fifo is a growable FIFO with a head index: pops keep the backing
-// array, so steady-state push/pop cycles never allocate.
-type fifo[T any] struct {
-	buf  []T
-	head int
-}
-
-func (f *fifo[T]) len() int { return len(f.buf) - f.head }
-
-func (f *fifo[T]) push(v T) { f.buf = append(f.buf, v) }
-
-func (f *fifo[T]) pop() T {
-	v := f.buf[f.head]
-	var zero T
-	f.buf[f.head] = zero
-	f.head++
-	if f.head == len(f.buf) {
-		f.buf = f.buf[:0]
-		f.head = 0
-	}
-	return v
-}
-
-// lsItem is one received LSA awaiting CPU processing. The agent owns
-// the packet (netsim transferred it at OnRouting) and holds it by
-// generation-checked handle until the flooding work completes, then
-// releases it.
-type lsItem struct {
-	ref    netsim.PacketRef
-	via    netsim.Medium
+// lsAux caches the fields of a received LSA's header decoded at
+// receive time, so the CPU-completion path needn't re-parse.
+type lsAux struct {
 	origin netsim.NodeID
 	seq    uint32
 }
 
-// Agent is one router's link-state process.
+// Agent is one router's link-state process: a link-state protocol
+// strategy over the shared protocol kernel, which owns the timer, CPU
+// and crash/restart machinery.
 type Agent struct {
-	node *netsim.Node
-	cfg  Config
-	r    *rng.Source
+	k   *protocol.Kernel[lsAux]
+	cfg Config
 
-	lsdb    map[netsim.NodeID]lsdbEntry
-	seq     uint32
-	timerEv des.Event
-	stats   Stats
-	stopped bool
-
-	// refreshLabel and the hoisted closures below keep the per-firing
-	// steady state allocation-free: one fmt.Sprintf and two closures per
-	// agent lifetime instead of per event.
-	refreshLabel string
-	rearmFn      func()
-	sweepFn      func()
-	timerFn      func() // hoisted onTimer method value (re-armed per refresh)
-	procFn       func() // hoisted receive-processing completion (pops pendQ)
-
-	// pendQ parks received LSAs while their processing cost drains
-	// through the CPU model; CPU completions are FIFO (each OccupyThen
-	// lands strictly later than the previous), so procFn pops heads in
-	// scheduling order. encScratch backs LSA encoding; the bytes are
-	// copied into each packet's pooled payload arena by SetPayload.
-	pendQ      fifo[lsItem]
-	encScratch []byte
+	lsdb  map[netsim.NodeID]lsdbEntry
+	seq   uint32
+	stats Stats
 
 	// nbrCache holds the sorted adjacency list, valid while nbrVer
 	// matches the network topology version. Callers must not mutate it;
@@ -153,43 +107,60 @@ func NewAgent(node *netsim.Node, cfg Config) *Agent {
 		cfg.MaxAgeFactor = 4
 	}
 	a := &Agent{
-		node: node,
 		cfg:  cfg,
-		r:    rng.New(cfg.Seed ^ int64(node.ID)*0x5DEECE66D),
 		lsdb: make(map[netsim.NodeID]lsdbEntry),
 	}
-	a.refreshLabel = fmt.Sprintf("lsa-refresh(%s)", node.Name)
-	a.rearmFn = a.rearmWhenIdle
-	a.timerFn = a.onTimer
-	a.sweepFn = func() {
-		if a.stopped {
-			return
-		}
-		a.sweep()
-		a.scheduleSweep()
-	}
-	a.procFn = func() {
-		it := a.pendQ.pop()
-		pkt := it.ref.Get()
-		a.integrate(pkt.Payload, it.origin, it.seq, it.via)
-		a.node.ReleasePacket(pkt)
-	}
-	node.OnRouting = a.receive
+	a.k = protocol.New(protocol.Config{
+		Name:       "linkstate",
+		Node:       node,
+		Seed:       cfg.Seed ^ int64(node.ID)*0x5DEECE66D,
+		Jitter:     cfg.Jitter,
+		TimerLabel: fmt.Sprintf("lsa-refresh(%s)", node.Name),
+		RearmLabel: "lsa-rearm-wait",
+		SweepLabel: "lsa-sweep",
+		SweepEvery: cfg.RefreshPeriod,
+	}, protocol.Hooks[lsAux]{
+		Fire:    a.originate,
+		Receive: a.receive,
+		Process: a.process,
+		Sweep:   a.sweep,
+		// A power failure loses the in-memory database and the derived
+		// caches; the sequence number survives (real implementations
+		// persist or recover it so post-reboot LSAs win over stale
+		// copies still flooding around).
+		ResetVolatile: func() {
+			for origin := range a.lsdb {
+				delete(a.lsdb, origin)
+			}
+			a.nbrOK = false
+			a.fibOK = false
+		},
+	})
 	return a
 }
 
 // Node returns the agent's node.
-func (a *Agent) Node() *netsim.Node { return a.node }
+func (a *Agent) Node() *netsim.Node { return a.k.Node() }
 
 // Stats returns a snapshot of the counters.
 func (a *Agent) Stats() Stats { return a.stats }
 
-// Stop halts origination and processing; the LSDB is left for inspection.
-func (a *Agent) Stop() {
-	a.stopped = true
-	a.node.Cancel(a.timerEv)
-	a.timerEv = des.Event{}
-	a.node.OnRouting = nil
+// Stop halts origination and processing; the LSDB is left for
+// inspection. See the kernel's Stop.
+func (a *Agent) Stop() { a.k.Stop() }
+
+// Crash models a power failure mid-run: the LSDB, neighbor cache and
+// FIB are lost and the node is marked failed until Restart; see the
+// kernel's Crash.
+func (a *Agent) Crash() { a.k.Crash() }
+
+// Restart reboots a stopped agent and arms the first refresh
+// startOffset seconds from now; see the kernel's Restart. The agent's
+// first origination floods a fresh LSA whose sequence number continues
+// from the previous life, so neighbors adopt it over stale copies.
+func (a *Agent) Restart(startOffset float64) {
+	a.k.Restart()
+	a.Start(startOffset)
 }
 
 // neighbors lists the adjacent node ids over all attached media, sorted.
@@ -197,17 +168,18 @@ func (a *Agent) Stop() {
 // originations on a static topology reuse it — and must not be mutated:
 // it is retained inside LSAs installed in LSDBs across the network.
 func (a *Agent) neighbors() []netsim.NodeID {
-	if ver := a.node.Net().TopologyVersion(); !a.nbrOK || a.nbrVer != ver {
+	node := a.k.Node()
+	if ver := node.Net().TopologyVersion(); !a.nbrOK || a.nbrVer != ver {
 		seen := map[netsim.NodeID]bool{}
-		for _, m := range a.node.Media() {
+		for _, m := range node.Media() {
 			switch t := m.(type) {
 			case *netsim.Link:
 				if !t.Down() {
-					seen[t.Peer(a.node).ID] = true
+					seen[t.Peer(node).ID] = true
 				}
 			case *netsim.LAN:
 				for _, member := range t.Members() {
-					if member != a.node {
+					if member != node {
 						seen[member.ID] = true
 					}
 				}
@@ -226,7 +198,7 @@ func (a *Agent) neighbors() []netsim.NodeID {
 // fibCurrent reports whether the FIB still reflects the LSDB and the
 // live topology.
 func (a *Agent) fibCurrent() bool {
-	return a.fibOK && a.fibVer == a.node.Net().TopologyVersion()
+	return a.fibOK && a.fibVer == a.k.Node().Net().TopologyVersion()
 }
 
 // idsEqual compares two sorted adjacency lists.
@@ -244,18 +216,8 @@ func idsEqual(a, b []netsim.NodeID) bool {
 
 // Start arms the first refresh to fire startOffset seconds from now.
 func (a *Agent) Start(startOffset float64) {
-	if startOffset < 0 {
-		panic("linkstate: negative start offset")
-	}
-	a.timerEv = a.node.After(startOffset, a.refreshLabel, a.timerFn)
-	a.scheduleSweep()
-}
-
-func (a *Agent) onTimer() {
-	if a.stopped {
-		return
-	}
-	a.originate()
+	a.k.StartTimer(startOffset)
+	a.k.ScheduleSweep()
 }
 
 // originate builds, installs and floods the router's own LSA, then
@@ -264,12 +226,13 @@ func (a *Agent) onTimer() {
 // adjacency is unchanged leaves the FIB alone: the SPF input is
 // identical, so the output would be too.
 func (a *Agent) originate() {
+	node := a.k.Node()
 	a.seq++
 	nbrs := a.neighbors()
-	lsa := LSA{Origin: a.node.ID, Seq: a.seq, Neighbors: nbrs}
-	now := a.node.Now()
-	prev, had := a.lsdb[a.node.ID]
-	a.lsdb[a.node.ID] = lsdbEntry{lsa: lsa, updated: now}
+	lsa := LSA{Origin: node.ID, Seq: a.seq, Neighbors: nbrs}
+	now := node.Now()
+	prev, had := a.lsdb[node.ID]
+	a.lsdb[node.ID] = lsdbEntry{lsa: lsa, updated: now}
 	a.flood(lsa, nil)
 	if !had || !idsEqual(nbrs, prev.lsa.Neighbors) || !a.fibCurrent() {
 		a.recompute()
@@ -278,34 +241,17 @@ func (a *Agent) originate() {
 	if a.OnSend != nil {
 		a.OnSend(now)
 	}
-	if a.node.CPU != nil && a.cfg.PrepareCost > 0 {
-		a.node.CPU.OccupyThen(a.cfg.PrepareCost, a.rearmFn)
-		return
-	}
-	a.rearmWhenIdle()
+	a.k.FinishSend(a.cfg.PrepareCost, true)
 }
 
-func (a *Agent) rearmWhenIdle() {
-	if a.stopped {
-		return
-	}
-	if a.node.CPU != nil && a.node.CPU.Busy() {
-		a.node.Schedule(a.node.CPU.BusyUntil(), "lsa-rearm-wait", a.rearmFn)
-		return
-	}
-	a.node.Cancel(a.timerEv)
-	delay := a.cfg.Jitter.Delay(a.r, int(a.node.ID))
-	a.timerEv = a.node.After(delay, a.refreshLabel, a.timerFn)
-}
-
-// flood encodes an LSA into the agent's scratch buffer and transmits it
+// flood encodes an LSA into the kernel's scratch buffer and transmits it
 // on every medium.
 func (a *Agent) flood(lsa LSA, except netsim.Medium) {
-	payload, err := EncodeInto(a.encScratch[:0], lsa)
+	payload, err := EncodeInto(a.k.Enc[:0], lsa)
 	if err != nil {
 		panic(err) // own adjacency lists are bounded by the topology
 	}
-	a.encScratch = payload
+	a.k.Enc = payload
 	a.floodRaw(payload, except)
 }
 
@@ -316,15 +262,13 @@ func (a *Agent) flood(lsa LSA, except netsim.Medium) {
 // arena, so the source (scratch buffer or an about-to-be-released
 // incoming packet) may be reused immediately.
 func (a *Agent) floodRaw(payload []byte, except netsim.Medium) {
-	net := a.node.Net()
-	for i, nm := 0, a.node.NumMedia(); i < nm; i++ {
-		m := a.node.MediumAt(i)
+	node := a.k.Node()
+	for i, nm := 0, node.NumMedia(); i < nm; i++ {
+		m := node.MediumAt(i)
 		if m == except {
 			continue
 		}
-		pkt := net.NewPacket(netsim.KindRouting, a.node.ID, netsim.Broadcast, 28+len(payload))
-		pkt.SetPayload(payload)
-		a.node.SendOn(m, netsim.Broadcast, pkt)
+		a.k.Send(m, netsim.Broadcast, payload)
 		a.stats.Flooded++
 	}
 }
@@ -334,39 +278,40 @@ func (a *Agent) floodRaw(payload []byte, except netsim.Medium) {
 // here; the duplicate path — the common case on a broadcast segment —
 // never touches the neighbor list. netsim transfers packet ownership
 // here; every path ends in ReleasePacket — immediately for malformed
-// frames and synchronous processing, or from procFn once the CPU
-// finishes for queued work.
+// frames and synchronous processing, or from the kernel's pending FIFO
+// once the CPU finishes for queued work.
 func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
 	origin, seq, err := PeekHeader(pkt.Payload)
 	if err != nil {
 		a.stats.Malformed++
-		a.node.ReleasePacket(pkt)
+		a.k.Node().ReleasePacket(pkt)
 		return
 	}
 	a.stats.Received++
-	if a.node.CPU != nil && a.cfg.ProcessCost > 0 {
-		a.pendQ.push(lsItem{ref: pkt.Ref(), via: via, origin: origin, seq: seq})
-		a.node.CPU.OccupyThen(a.cfg.ProcessCost, a.procFn)
-		return
-	}
-	a.integrate(pkt.Payload, origin, seq, via)
-	a.node.ReleasePacket(pkt)
+	a.k.Process(pkt, via, lsAux{origin: origin, seq: seq}, a.cfg.ProcessCost)
+}
+
+// process is the kernel's processing completion: integrate the LSA
+// using the header fields cached at receive time.
+func (a *Agent) process(pkt *netsim.Packet, via netsim.Medium, aux lsAux) {
+	a.integrate(pkt.Payload, aux.origin, aux.seq, via)
 }
 
 // PendingPackets returns the number of received LSAs the agent is
 // holding while their processing cost drains through the CPU model —
 // packets the agent owns but has not released yet. Leak audits add it to
 // netsim's parked counts.
-func (a *Agent) PendingPackets() int { return a.pendQ.len() }
+func (a *Agent) PendingPackets() int { return a.k.PendingPackets() }
 
 func (a *Agent) integrate(payload []byte, origin netsim.NodeID, seq uint32, via netsim.Medium) {
-	if a.stopped {
+	if a.k.Stopped() {
 		return
 	}
-	if origin == a.node.ID {
+	node := a.k.Node()
+	if origin == node.ID {
 		return // our own LSA echoed back
 	}
-	now := a.node.Now()
+	now := node.Now()
 	cur, ok := a.lsdb[origin]
 	if ok && seq <= cur.lsa.Seq {
 		// Stale or duplicate: refresh the age on an exact duplicate (the
@@ -424,8 +369,9 @@ func (a *Agent) Distance(dest netsim.NodeID) int {
 // spf runs BFS over the LSDB adjacency (uniform link cost). Links are
 // used only when both endpoints agree (bidirectional check, as in OSPF).
 func (a *Agent) spf() map[netsim.NodeID]int {
+	self := a.k.Node().ID
 	adj := func(id netsim.NodeID) []netsim.NodeID {
-		if id == a.node.ID {
+		if id == self {
 			return a.neighbors()
 		}
 		if e, ok := a.lsdb[id]; ok {
@@ -441,8 +387,8 @@ func (a *Agent) spf() map[netsim.NodeID]int {
 		}
 		return false
 	}
-	dist := map[netsim.NodeID]int{a.node.ID: 0}
-	queue := []netsim.NodeID{a.node.ID}
+	dist := map[netsim.NodeID]int{self: 0}
+	queue := []netsim.NodeID{self}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
@@ -473,7 +419,8 @@ func (a *Agent) spf() map[netsim.NodeID]int {
 // reject them anyway.
 func (a *Agent) recompute() {
 	a.stats.SPFRuns++
-	net := a.node.Net()
+	node := a.k.Node()
+	net := node.Net()
 	n := net.NumNodes()
 	if cap(a.adjRows) < n {
 		a.adjRows = make([][]netsim.NodeID, n)
@@ -492,7 +439,7 @@ func (a *Agent) recompute() {
 	}
 	// The router's own row comes from the live topology, not its stored
 	// LSA, so local changes take effect before the next origination.
-	adj[a.node.ID] = a.neighbors()
+	adj[node.ID] = a.neighbors()
 	claims := func(id, nb netsim.NodeID) bool {
 		for _, x := range adj[id] {
 			if x == nb {
@@ -504,9 +451,9 @@ func (a *Agent) recompute() {
 	inRange := func(id netsim.NodeID) bool { return int(id) >= 0 && int(id) < n }
 
 	queue := a.spfQueue[:0]
-	visited[a.node.ID] = true
-	for _, nb := range adj[a.node.ID] {
-		if !inRange(nb) || !claims(nb, a.node.ID) {
+	visited[node.ID] = true
+	for _, nb := range adj[node.ID] {
+		if !inRange(nb) || !claims(nb, node.ID) {
 			continue
 		}
 		visited[nb] = true
@@ -526,9 +473,9 @@ func (a *Agent) recompute() {
 	}
 	a.spfQueue = queue[:0]
 	// Withdraw FIB entries that SPF no longer reaches.
-	for dest := range a.node.FIB {
+	for dest := range node.FIB {
 		if !inRange(dest) || !visited[dest] {
-			delete(a.node.FIB, dest)
+			delete(node.FIB, dest)
 		}
 	}
 	a.fibOK = true
@@ -537,18 +484,19 @@ func (a *Agent) recompute() {
 
 // installRoute programs dest via the medium that reaches firstHop.
 func (a *Agent) installRoute(dest, firstHop netsim.NodeID) {
-	for i, nm := 0, a.node.NumMedia(); i < nm; i++ {
-		m := a.node.MediumAt(i)
+	node := a.k.Node()
+	for i, nm := 0, node.NumMedia(); i < nm; i++ {
+		m := node.MediumAt(i)
 		switch t := m.(type) {
 		case *netsim.Link:
-			if !t.Down() && t.Peer(a.node).ID == firstHop {
-				a.node.SetRoute(dest, m, firstHop)
+			if !t.Down() && t.Peer(node).ID == firstHop {
+				node.SetRoute(dest, m, firstHop)
 				return
 			}
 		case *netsim.LAN:
 			for j, nj := 0, t.NumMembers(); j < nj; j++ {
 				if t.Member(j).ID == firstHop {
-					a.node.SetRoute(dest, m, firstHop)
+					node.SetRoute(dest, m, firstHop)
 					return
 				}
 			}
@@ -556,26 +504,21 @@ func (a *Agent) installRoute(dest, firstHop netsim.NodeID) {
 	}
 }
 
-// scheduleSweep ages the database: entries unrefreshed past MaxAge are
-// withdrawn and routes recomputed.
-func (a *Agent) scheduleSweep() {
-	if a.stopped {
-		return
-	}
-	a.node.After(a.cfg.RefreshPeriod, "lsa-sweep", a.sweepFn)
-}
-
+// sweep ages the database: entries unrefreshed past MaxAge are
+// withdrawn and routes recomputed. The kernel schedules it every
+// RefreshPeriod.
 func (a *Agent) sweep() {
-	now := a.node.Now()
+	node := a.k.Node()
+	now := node.Now()
 	maxAge := a.cfg.MaxAgeFactor * a.cfg.RefreshPeriod
 	changed := false
 	for origin, e := range a.lsdb {
-		if origin == a.node.ID {
+		if origin == node.ID {
 			continue
 		}
 		if now-e.updated > maxAge {
 			delete(a.lsdb, origin)
-			delete(a.node.FIB, origin)
+			delete(node.FIB, origin)
 			a.stats.AgedOut++
 			changed = true
 		}

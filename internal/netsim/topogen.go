@@ -1,6 +1,10 @@
 package netsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"routesync/internal/rng"
+)
 
 // This file generates the larger topologies behind the scale experiments
 // (the paper's §2 measurement setting is many routers exchanging periodic
@@ -123,6 +127,181 @@ func (n *Network) BuildTwoLevelAS(cfg TwoLevelASConfig) *TwoLevelAS {
 		}
 	}
 	return t
+}
+
+// ASEdgeRel labels a generated inter-AS link with the business
+// relationship that drives path-vector export policy.
+type ASEdgeRel int8
+
+const (
+	// EdgeProviderCustomer: edge endpoint A sells transit to endpoint B.
+	EdgeProviderCustomer ASEdgeRel = iota
+	// EdgePeerPeer: settlement-free peering between A and B.
+	EdgePeerPeer
+)
+
+// ASEdge is one generated inter-AS adjacency with its policy label.
+type ASEdge struct {
+	Link *Link
+	// A and B are the endpoints; for EdgeProviderCustomer, A is the
+	// provider and B the customer.
+	A, B *Node
+	Rel  ASEdgeRel
+}
+
+// ASGraph is a generated AS-level topology: one node per AS, and every
+// edge labeled with its provider–customer or peer–peer relationship.
+// Node ids are dense in creation order, so OwnerByBlock partitions the
+// graph into contiguous id ranges.
+type ASGraph struct {
+	Nodes []*Node
+	Edges []ASEdge
+}
+
+// PreferentialAttachmentConfig parameterizes BuildPreferentialAttachment.
+type PreferentialAttachmentConfig struct {
+	// N is the AS count; M the edges each arriving AS creates (the
+	// Barabási–Albert parameter). N must exceed M.
+	N, M int
+	// Link configures every generated link; it needs Delay > 0 when the
+	// build is partitioned (the delay is the synchronization lookahead).
+	Link LinkConfig
+	// CPU configures every AS's router CPU; nil means no CPU model.
+	CPU *CPUConfig
+	// Seed drives the attachment draws; the graph is a pure function of
+	// (N, M, Seed) — independent, in particular, of partition count.
+	Seed int64
+}
+
+// BuildPreferentialAttachment grows a Barabási–Albert power-law AS
+// graph: a seed clique of M+1 peered ASes, then each arriving AS links
+// to M distinct existing ASes chosen proportionally to degree. The
+// arriving AS buys transit from its targets (it is their customer), so
+// the provider–customer edges always point from an older AS to a newer
+// one — the relation graph is acyclic by construction, and the
+// early-clique hubs become the high-degree transit core, as in the
+// measured internet. The graph is connected for the same reason.
+func (n *Network) BuildPreferentialAttachment(cfg PreferentialAttachmentConfig) *ASGraph {
+	if cfg.M < 1 || cfg.N <= cfg.M {
+		panic("netsim: BuildPreferentialAttachment needs N > M ≥ 1")
+	}
+	r := rng.New(cfg.Seed ^ 0x41535F5041) // "AS_PA"
+	g := &ASGraph{Nodes: make([]*Node, cfg.N)}
+	for i := range g.Nodes {
+		g.Nodes[i] = n.NewNode(fmt.Sprintf("as%d", i), cfg.CPU)
+	}
+	core := cfg.M + 1
+	if core > cfg.N {
+		core = cfg.N
+	}
+	// ball holds one entry per edge endpoint: sampling it uniformly is
+	// degree-proportional sampling.
+	ball := make([]int, 0, 2*(core*(core-1)/2+cfg.M*(cfg.N-core)))
+	addEdge := func(a, b int, rel ASEdgeRel) {
+		l := n.Connect(g.Nodes[a], g.Nodes[b], cfg.Link)
+		g.Edges = append(g.Edges, ASEdge{Link: l, A: g.Nodes[a], B: g.Nodes[b], Rel: rel})
+		ball = append(ball, a, b)
+	}
+	for i := 0; i < core; i++ {
+		for j := i + 1; j < core; j++ {
+			addEdge(i, j, EdgePeerPeer)
+		}
+	}
+	picked := make([]int, 0, cfg.M)
+	for v := core; v < cfg.N; v++ {
+		picked = picked[:0]
+		for len(picked) < cfg.M {
+			t := ball[r.Intn(len(ball))]
+			dup := false
+			for _, p := range picked {
+				if p == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, t)
+			}
+		}
+		for _, t := range picked {
+			addEdge(t, v, EdgeProviderCustomer) // t (older) provides transit to v
+		}
+	}
+	return g
+}
+
+// ProviderCustomerConfig parameterizes BuildProviderCustomer.
+type ProviderCustomerConfig struct {
+	// Cores is the number of top-tier transit ASes (fully meshed with
+	// settlement-free peering); Stubs the number of edge ASes.
+	Cores, Stubs int
+	// Homing is the number of distinct providers each stub buys transit
+	// from (multihoming); zero means 2, clamped to Cores.
+	Homing int
+	// CoreLink / StubLink configure the peering and access links; both
+	// need Delay > 0 when the build is partitioned.
+	CoreLink, StubLink LinkConfig
+	// CPU configures every AS's router CPU; nil means no CPU model.
+	CPU *CPUConfig
+	// Seed drives the provider assignment; the graph is a pure function
+	// of the configuration.
+	Seed int64
+}
+
+// BuildProviderCustomer generates a two-tier internet: a full mesh of
+// peered core ASes, and stub ASes each multihomed to Homing distinct
+// core providers. Core ids come first ([0, Cores)), stubs after, so the
+// provider–customer relation is acyclic by construction and OwnerByBlock
+// keeps each id range contiguous. Every stub reaches every other
+// through the core, making the valley-free policy reachability total.
+func (n *Network) BuildProviderCustomer(cfg ProviderCustomerConfig) *ASGraph {
+	if cfg.Cores < 1 || cfg.Stubs < 0 {
+		panic("netsim: BuildProviderCustomer needs at least one core")
+	}
+	homing := cfg.Homing
+	if homing == 0 {
+		homing = 2
+	}
+	if homing > cfg.Cores {
+		homing = cfg.Cores
+	}
+	r := rng.New(cfg.Seed ^ 0x41535F3254) // "AS_2T"
+	g := &ASGraph{Nodes: make([]*Node, 0, cfg.Cores+cfg.Stubs)}
+	for i := 0; i < cfg.Cores; i++ {
+		g.Nodes = append(g.Nodes, n.NewNode(fmt.Sprintf("core%d", i), cfg.CPU))
+	}
+	for i := 0; i < cfg.Stubs; i++ {
+		g.Nodes = append(g.Nodes, n.NewNode(fmt.Sprintf("stub%d", i), cfg.CPU))
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		for j := i + 1; j < cfg.Cores; j++ {
+			l := n.Connect(g.Nodes[i], g.Nodes[j], cfg.CoreLink)
+			g.Edges = append(g.Edges, ASEdge{Link: l, A: g.Nodes[i], B: g.Nodes[j], Rel: EdgePeerPeer})
+		}
+	}
+	picked := make([]int, 0, homing)
+	for s := 0; s < cfg.Stubs; s++ {
+		stub := g.Nodes[cfg.Cores+s]
+		picked = picked[:0]
+		for len(picked) < homing {
+			c := r.Intn(cfg.Cores)
+			dup := false
+			for _, p := range picked {
+				if p == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picked = append(picked, c)
+			}
+		}
+		for _, c := range picked {
+			l := n.Connect(g.Nodes[c], stub, cfg.StubLink)
+			g.Edges = append(g.Edges, ASEdge{Link: l, A: g.Nodes[c], B: stub, Rel: EdgeProviderCustomer})
+		}
+	}
+	return g
 }
 
 // OwnerByBlock returns an owner function assigning node ids to k

@@ -4,25 +4,25 @@ import (
 	"fmt"
 	"math"
 
-	"routesync/internal/des"
 	"routesync/internal/jitter"
 	"routesync/internal/netsim"
-	"routesync/internal/rng"
+	"routesync/internal/protocol"
 )
 
-// TimerMode selects when the routing timer is re-armed, mirroring
-// internal/periodic's TimerReset for the packet-level implementation.
-type TimerMode int
+// TimerMode selects when the routing timer is re-armed; it is the
+// kernel's TimerMode, re-exported so distance-vector call sites keep
+// reading naturally.
+type TimerMode = protocol.TimerMode
 
 const (
 	// TimerResetAfterProcessing re-arms the timer only once the CPU has
 	// finished preparing the router's own update and processing any
 	// updates that arrived meanwhile — the paper's §3 model and the
 	// behaviour of the implementations it cites ([Li93]).
-	TimerResetAfterProcessing TimerMode = iota
+	TimerResetAfterProcessing = protocol.TimerResetAfterProcessing
 	// TimerResetOnExpiry re-arms relative to the previous expiration,
 	// regardless of processing time (the RFC 1058 suggestion).
-	TimerResetOnExpiry
+	TimerResetOnExpiry = protocol.TimerResetOnExpiry
 )
 
 // Costs models router CPU consumption per routing message, following the
@@ -95,81 +95,21 @@ type Stats struct {
 	RequestsAnswered uint64
 }
 
-// fifo is a growable FIFO with a head index: pops keep the backing
-// array, so steady-state push/pop cycles never allocate. The agents use
-// it for work parked behind the CPU-occupancy model.
-type fifo[T any] struct {
-	buf  []T
-	head int
-}
-
-func (f *fifo[T]) len() int { return len(f.buf) - f.head }
-
-func (f *fifo[T]) push(v T) { f.buf = append(f.buf, v) }
-
-func (f *fifo[T]) pop() T {
-	v := f.buf[f.head]
-	var zero T
-	f.buf[f.head] = zero
-	f.head++
-	if f.head == len(f.buf) {
-		f.buf = f.buf[:0]
-		f.head = 0
-	}
-	return v
-}
-
-// recvItem is one received update awaiting CPU processing. The agent
-// owns the packet (netsim transferred it at OnRouting) and holds it by
-// generation-checked handle until the work completes, then releases it.
-type recvItem struct {
-	ref netsim.PacketRef
-	via netsim.Medium
-	gen uint64
-}
-
-// prepItem is one pending update-preparation completion.
-type prepItem struct {
-	resetTimer bool
-	gen        uint64
-}
-
-// Agent is one router's routing process.
+// Agent is one router's routing process: a distance-vector protocol
+// strategy over the shared protocol kernel, which owns the timer, CPU
+// and crash/restart machinery.
 type Agent struct {
-	node *netsim.Node
-	cfg  Config
-	r    *rng.Source
+	k   *protocol.Kernel[struct{}]
+	cfg Config
 
-	table      *Table
-	timerEv    des.Event
-	sweepEv    des.Event
-	waitEv     des.Event
-	timerLabel string // hoisted: one fmt.Sprintf per agent, not per re-arm
-	rearmFn    func() // hoisted rearmWhenIdle closure
-	sweepFn    func() // hoisted sweep closure
-	timerFn    func() // hoisted onTimer method value (armAt runs per period)
-	procFn     func() // hoisted receive-processing completion (pops recvQ)
-	prepFn     func() // hoisted preparation completion (pops prepQ)
-	lastExpiry float64
-	lastTrig   float64
-	stats      Stats
-	stopped    bool
-	// gen counts agent lifetimes: Stop bumps it, and CPU-completion
-	// callbacks issued before the stop compare their captured gen so a
-	// reboot (Crash/Restart) never processes work from a previous life.
-	gen uint64
+	table    *Table
+	lastTrig float64
+	stats    Stats
 
-	// recvQ/prepQ park in-flight CPU work; CPU completions are FIFO
-	// (each OccupyThen lands strictly later than the previous), so the
-	// hoisted procFn/prepFn pop their queue heads in scheduling order.
-	recvQ fifo[recvItem]
-	prepQ fifo[prepItem]
-	// Scratch buffers for the steady-state update cycle: entries exported
-	// for an outgoing update, its encoded bytes (copied into the packet's
-	// pooled payload arena by SetPayload), and entries decoded from an
-	// incoming one.
+	// Scratch buffers for the steady-state update cycle: entries
+	// exported for an outgoing update and entries decoded from an
+	// incoming one (the encode scratch lives on the kernel).
 	expScratch []Entry
-	encScratch []byte
 	entScratch []Entry
 
 	// OnSend, if set, observes every update transmission (experiments
@@ -207,63 +147,65 @@ func NewAgent(node *netsim.Node, cfg Config) *Agent {
 		panic("routing: ExtraRoutes out of range")
 	}
 	a := &Agent{
-		node:  node,
 		cfg:   cfg,
-		r:     rng.New(cfg.Seed ^ int64(node.ID)*0x9E3779B9),
 		table: NewTable(cfg.Profile.Infinity),
 	}
 	a.table.SetHoldDown(cfg.Profile.HoldDown)
-	a.timerLabel = fmt.Sprintf("routing-timer(%s)", node.Name)
-	a.rearmFn = a.rearmWhenIdle
-	a.timerFn = a.onTimer
-	a.sweepFn = func() {
-		if a.stopped {
-			return
-		}
-		a.sweep()
-		a.scheduleSweep()
-	}
-	a.procFn = func() {
-		it := a.recvQ.pop()
-		pkt := it.ref.Get()
-		if a.gen == it.gen {
-			a.integrateWire(pkt.Payload, it.via)
-		}
-		a.node.ReleasePacket(pkt)
-	}
-	a.prepFn = func() {
-		it := a.prepQ.pop()
-		if it.resetTimer && a.gen == it.gen {
-			a.rearmWhenIdle()
-		}
-	}
-	node.OnRouting = a.receive
+	a.k = protocol.New(protocol.Config{
+		Name:       "routing",
+		Node:       node,
+		Seed:       cfg.Seed ^ int64(node.ID)*0x9E3779B9,
+		Jitter:     cfg.Jitter,
+		Mode:       cfg.TimerMode,
+		TimerLabel: fmt.Sprintf("routing-timer(%s)", node.Name),
+		RearmLabel: "routing-rearm-wait",
+		SweepLabel: "routing-sweep",
+		SweepEvery: cfg.Profile.Period,
+	}, protocol.Hooks[struct{}]{
+		Fire:    a.onTimer,
+		Receive: a.receive,
+		Process: a.process,
+		Sweep:   a.sweep,
+		TimerArmed: func(resetAt, expiresAt float64) {
+			if a.OnTimerReset != nil {
+				a.OnTimerReset(resetAt, expiresAt)
+			}
+		},
+		// Reset in place: the table's map buckets, route structs and
+		// scratch survive onto the free lists, so repeated crash/reboot
+		// cycles stop allocating once the first life's high-water marks
+		// are reached.
+		ResetVolatile: func() { a.table.Reset() },
+		Restarted: func() {
+			a.lastTrig = a.k.Node().Now() - a.cfg.TriggerHoldoff
+		},
+	})
 	return a
 }
 
 // Node returns the agent's node.
-func (a *Agent) Node() *netsim.Node { return a.node }
+func (a *Agent) Node() *netsim.Node { return a.k.Node() }
 
 // Table returns the agent's routing table.
 func (a *Agent) Table() *Table { return a.table }
 
 // Stats returns a snapshot of the counters.
-func (a *Agent) Stats() Stats { return a.stats }
+func (a *Agent) Stats() Stats {
+	s := a.stats
+	s.TimerResets = a.k.TimerResets()
+	return s
+}
 
 // Start installs the router's own route and arms the first timer to fire
 // at startOffset seconds from now. A shared startOffset of 0 across
 // agents models the post-restart synchronized state; drawing offsets from
 // U[0, Period] models the unsynchronized state.
 func (a *Agent) Start(startOffset float64) {
-	if startOffset < 0 {
-		panic("routing: negative start offset")
-	}
-	now := a.node.Now()
-	a.table.SetLocal(a.node.ID, now)
-	a.lastExpiry = now + startOffset
-	a.armAt(now + startOffset)
+	node := a.k.Node()
+	a.table.SetLocal(node.ID, node.Now())
+	a.k.StartTimer(startOffset)
 	// Housekeeping sweep, offset to avoid colliding with the timer.
-	a.scheduleSweep()
+	a.k.ScheduleSweep()
 	if a.cfg.RequestOnStart {
 		a.sendRequest()
 	}
@@ -271,95 +213,40 @@ func (a *Agent) Start(startOffset float64) {
 
 // sendRequest broadcasts a table request on every medium.
 func (a *Agent) sendRequest() {
-	net := a.node.Net()
-	payload, err := EncodeInto(a.encScratch[:0], Message{Router: a.node.ID, Request: true})
+	node := a.k.Node()
+	payload, err := EncodeInto(a.k.Enc[:0], Message{Router: node.ID, Request: true})
 	if err != nil {
 		panic(err)
 	}
-	a.encScratch = payload
-	for i := 0; i < a.node.NumMedia(); i++ {
-		pkt := net.NewPacket(netsim.KindRouting, a.node.ID, netsim.Broadcast, 28+len(payload))
-		pkt.SetPayload(payload)
-		a.node.SendOn(a.node.MediumAt(i), netsim.Broadcast, pkt)
+	a.k.Enc = payload
+	for i := 0; i < node.NumMedia(); i++ {
+		a.k.Send(node.MediumAt(i), netsim.Broadcast, payload)
 	}
 	a.stats.RequestsSent++
 }
 
-func (a *Agent) armAt(at float64) {
-	a.timerEv = a.node.Schedule(at, a.timerLabel, a.timerFn)
-	a.stats.TimerResets++
-	if a.OnTimerReset != nil {
-		a.OnTimerReset(a.node.Now(), at)
-	}
-}
+// Stop halts the agent; see the kernel's Stop. The routing table is
+// left as-is for post-mortem inspection.
+func (a *Agent) Stop() { a.k.Stop() }
 
-func (a *Agent) cancelTimer() {
-	a.node.Cancel(a.timerEv)
-	a.timerEv = des.Event{}
-}
+// Crash models a power failure mid-run: the volatile routing state —
+// table, hold-down windows, FIB — is lost and the node is marked failed
+// until Restart; see the kernel's Crash.
+func (a *Agent) Crash() { a.k.Crash() }
 
-// Stop halts the agent: the periodic timer, housekeeping sweep and any
-// pending rearm wait are cancelled, in-flight CPU work from this life is
-// invalidated, and incoming packets are ignored. The routing table is
-// left as-is for post-mortem inspection. Stop models an administrative
-// shutdown; the neighbors' route-timeout machinery ages the dead
-// router's routes out.
-func (a *Agent) Stop() {
-	a.stopped = true
-	a.gen++
-	a.cancelTimer()
-	a.node.Cancel(a.sweepEv)
-	a.sweepEv = des.Event{}
-	a.node.Cancel(a.waitEv)
-	a.waitEv = des.Event{}
-	a.node.OnRouting = nil
-}
-
-// Crash models a power failure mid-run: the agent stops as in Stop, the
-// router's volatile state — routing table, hold-down windows, FIB — is
-// lost, and the node is marked failed so the data plane drops every
-// arrival (DropNodeDown) until Restart. Call it from an event executing
-// at the agent's node (internal/faults schedules exactly that) or from
-// a single-threaded phase.
-func (a *Agent) Crash() {
-	a.Stop()
-	for dst := range a.node.FIB {
-		delete(a.node.FIB, dst)
-	}
-	// Reset in place: the table's map buckets, route structs and scratch
-	// survive onto the free lists, so repeated crash/reboot cycles stop
-	// allocating once the first life's high-water marks are reached.
-	a.table.Reset()
-	a.node.SetFailed(true)
-}
-
-// Restart reboots a stopped agent: the node is restored, the receive
-// hook reinstalled, and the first periodic timer armed startOffset
-// seconds from now. After Crash the agent comes back with empty tables,
-// as a real router reboot would; after a plain Stop it keeps its old
-// table (an administrative restart). With Config.RequestOnStart set the
-// agent broadcasts a table request immediately (RFC 1058 §3.4.1), so
-// recovery does not wait on the neighbors' periodic timers. Stats
-// counters accumulate across reboots, and observer hooks (OnSend,
-// OnRouteChange, ...) stay installed. It panics on a running agent.
+// Restart reboots a stopped agent and arms the first periodic timer
+// startOffset seconds from now; see the kernel's Restart. With
+// Config.RequestOnStart set the agent broadcasts a table request
+// immediately (RFC 1058 §3.4.1), so recovery does not wait on the
+// neighbors' periodic timers.
 func (a *Agent) Restart(startOffset float64) {
-	if !a.stopped {
-		panic("routing: Restart on a running agent")
-	}
-	a.node.SetFailed(false)
-	a.stopped = false
-	a.lastTrig = a.node.Now() - a.cfg.TriggerHoldoff
-	a.node.OnRouting = a.receive
+	a.k.Restart()
 	a.Start(startOffset)
 }
 
 // onTimer fires at a periodic timer expiration: prepare and send the
 // router's own update (§3 step 1).
 func (a *Agent) onTimer() {
-	if a.stopped {
-		return
-	}
-	a.lastExpiry = a.node.Now()
 	a.sendUpdate(false, true)
 }
 
@@ -375,60 +262,24 @@ func (a *Agent) sendUpdate(triggered, resetTimer bool) {
 	a.broadcast(triggered)
 	prep := math.Max(a.cfg.Costs.MinPrepare,
 		a.cfg.Costs.PerRoutePrepare*float64(a.table.Len()+a.cfg.ExtraRoutes))
-	if a.node.CPU != nil && prep > 0 {
-		a.prepQ.push(prepItem{resetTimer: resetTimer, gen: a.gen})
-		a.node.CPU.OccupyThen(prep, a.prepFn)
-		return
-	}
-	if resetTimer {
-		a.rearmWhenIdle()
-	}
-}
-
-// rearmWhenIdle re-arms the periodic timer once the CPU backlog (the
-// router's own preparation plus any incoming updates that arrived during
-// it) drains — the coupling mechanism of the paper.
-func (a *Agent) rearmWhenIdle() {
-	if a.stopped {
-		return
-	}
-	if a.node.CPU != nil && a.node.CPU.Busy() {
-		a.waitEv = a.node.Schedule(a.node.CPU.BusyUntil(), "routing-rearm-wait", a.rearmFn)
-		return
-	}
-	a.cancelTimer()
-	delay := a.cfg.Jitter.Delay(a.r, int(a.node.ID))
-	now := a.node.Now()
-	var at float64
-	switch a.cfg.TimerMode {
-	case TimerResetOnExpiry:
-		at = a.lastExpiry + delay
-		if at < now {
-			at = now
-		}
-	default:
-		at = now + delay
-	}
-	a.armAt(at)
+	a.k.FinishSend(prep, resetTimer)
 }
 
 // broadcast transmits the table on every attached medium, applying split
 // horizon per medium. Export, encode and payload all ride per-agent (or
 // per-packet-slot) scratch, so a steady-state update allocates nothing.
 func (a *Agent) broadcast(triggered bool) {
-	net := a.node.Net()
-	for i := 0; i < a.node.NumMedia(); i++ {
-		m := a.node.MediumAt(i)
+	node := a.k.Node()
+	for i := 0; i < node.NumMedia(); i++ {
+		m := node.MediumAt(i)
 		a.expScratch = a.table.ExportInto(a.expScratch[:0], m, a.cfg.Profile.SplitHorizon, a.cfg.Profile.PoisonReverse)
 		a.expScratch = a.padSynthetic(a.expScratch)
-		payload, err := EncodeInto(a.encScratch[:0], Message{Router: a.node.ID, Triggered: triggered, Entries: a.expScratch})
+		payload, err := EncodeInto(a.k.Enc[:0], Message{Router: node.ID, Triggered: triggered, Entries: a.expScratch})
 		if err != nil {
 			panic(err) // table size is bounded by MaxEntries via ExtraRoutes validation
 		}
-		a.encScratch = payload
-		pkt := net.NewPacket(netsim.KindRouting, a.node.ID, netsim.Broadcast, 28+len(payload))
-		pkt.SetPayload(payload)
-		a.node.SendOn(m, netsim.Broadcast, pkt)
+		a.k.Enc = payload
+		a.k.Send(m, netsim.Broadcast, payload)
 	}
 	if triggered {
 		a.stats.TriggeredSent++
@@ -436,7 +287,7 @@ func (a *Agent) broadcast(triggered bool) {
 		a.stats.PeriodicSent++
 	}
 	if a.OnSend != nil {
-		a.OnSend(a.node.Now(), triggered)
+		a.OnSend(node.Now(), triggered)
 	}
 }
 
@@ -448,10 +299,11 @@ func (a *Agent) padSynthetic(entries []Entry) []Entry {
 	if a.cfg.ExtraRoutes == 0 {
 		return entries
 	}
+	node := a.k.Node()
 	base := netsim.NodeID(1 << 20) // far outside real node-id space
 	for i := 0; i < a.cfg.ExtraRoutes; i++ {
 		entries = append(entries, Entry{
-			Dest:   base + netsim.NodeID(int(a.node.ID)*MaxEntries+i),
+			Dest:   base + netsim.NodeID(int(node.ID)*MaxEntries+i),
 			Metric: a.cfg.Profile.Infinity - 1,
 		})
 	}
@@ -461,17 +313,18 @@ func (a *Agent) padSynthetic(entries []Entry) []Entry {
 // receive handles an incoming routing packet: consume CPU, then fold the
 // update into the table (§3 steps 2/4). netsim transfers packet
 // ownership here; every path ends in ReleasePacket — immediately for
-// drops, synchronous processing and request replies, or from procFn once
-// the CPU finishes for queued work.
+// drops, synchronous processing and request replies, or from the
+// kernel's pending FIFO once the CPU finishes for queued work.
 func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
+	node := a.k.Node()
 	router, _, request, count, err := PeekHeader(pkt.Payload)
 	if err != nil {
 		a.stats.Malformed++
-		a.node.ReleasePacket(pkt)
+		node.ReleasePacket(pkt)
 		return
 	}
-	if router == a.node.ID {
-		a.node.ReleasePacket(pkt) // our own broadcast reflected back; ignore
+	if router == node.ID {
+		node.ReleasePacket(pkt) // our own broadcast reflected back; ignore
 		return
 	}
 	a.stats.Received++
@@ -480,18 +333,18 @@ func (a *Agent) receive(pkt *netsim.Packet, via netsim.Medium) {
 		// (RFC 1058: responses to requests are not regular updates).
 		a.stats.RequestsAnswered++
 		a.sendUpdate(false, false)
-		a.node.ReleasePacket(pkt)
+		node.ReleasePacket(pkt)
 		return
 	}
 	proc := math.Max(a.cfg.Costs.MinProcess,
 		a.cfg.Costs.PerRouteProcess*float64(count))
-	if a.node.CPU != nil && proc > 0 {
-		a.recvQ.push(recvItem{ref: pkt.Ref(), via: via, gen: a.gen})
-		a.node.CPU.OccupyThen(proc, a.procFn)
-		return
-	}
+	a.k.Process(pkt, via, struct{}{}, proc)
+}
+
+// process is the kernel's processing completion: decode and integrate
+// the validated update (the synchronous no-CPU path lands here too).
+func (a *Agent) process(pkt *netsim.Packet, via netsim.Medium, _ struct{}) {
 	a.integrateWire(pkt.Payload, via)
-	a.node.ReleasePacket(pkt)
 }
 
 // integrateWire decodes a validated update into per-agent scratch and
@@ -510,12 +363,13 @@ func (a *Agent) integrateWire(payload []byte, via netsim.Medium) {
 // holding while their processing cost drains through the CPU model —
 // packets the agent owns but has not released yet. Leak audits add it to
 // netsim's parked counts.
-func (a *Agent) PendingPackets() int { return a.recvQ.len() }
+func (a *Agent) PendingPackets() int { return a.k.PendingPackets() }
 
 // integrate applies a decoded update and reacts: FIB programming,
 // triggered-update propagation.
 func (a *Agent) integrate(msg Message, via netsim.Medium) {
-	now := a.node.Now()
+	node := a.k.Node()
+	now := node.Now()
 	cost := uint32(1)
 	if a.cfg.LinkCost != nil {
 		cost = a.cfg.LinkCost(via)
@@ -527,14 +381,14 @@ func (a *Agent) integrate(msg Message, via netsim.Medium) {
 	for _, dest := range res.Installed {
 		r := a.table.Get(dest)
 		if r != nil && !r.Local && r.Metric < a.table.Infinity() {
-			a.node.SetRoute(dest, r.Via, r.NextHop)
+			node.SetRoute(dest, r.Via, r.NextHop)
 			if a.OnRouteChange != nil {
 				a.OnRouteChange(dest, r.Metric, true)
 			}
 		}
 	}
 	for _, dest := range res.Unreachable {
-		delete(a.node.FIB, dest)
+		delete(node.FIB, dest)
 		if a.OnRouteChange != nil {
 			a.OnRouteChange(dest, a.table.Infinity(), false)
 		}
@@ -552,7 +406,7 @@ func (a *Agent) integrate(msg Message, via netsim.Medium) {
 
 // triggerUpdate sends a rate-limited triggered update.
 func (a *Agent) triggerUpdate() {
-	now := a.node.Now()
+	now := a.k.Node().Now()
 	if now-a.lastTrig < a.cfg.TriggerHoldoff {
 		return
 	}
@@ -560,23 +414,18 @@ func (a *Agent) triggerUpdate() {
 	a.sendUpdate(true, a.cfg.TriggeredResetsTimer)
 }
 
-// scheduleSweep arms the periodic route-aging housekeeping.
-func (a *Agent) scheduleSweep() {
-	if a.stopped {
-		return
-	}
-	a.sweepEv = a.node.After(a.cfg.Profile.Period, "routing-sweep", a.sweepFn)
-}
-
+// sweep is the periodic route-aging housekeeping body; the kernel
+// schedules it every Profile.Period.
 func (a *Agent) sweep() {
-	now := a.node.Now()
+	node := a.k.Node()
+	now := node.Now()
 	timeout := a.cfg.Profile.TimeoutFactor * a.cfg.Profile.Period
 	gc := a.cfg.Profile.GCFactor * a.cfg.Profile.Period
 	unreachable, deleted := a.table.Expire(now, timeout, gc)
 	a.stats.ExpiredRoutes += uint64(len(unreachable))
 	a.stats.DeletedRoutes += uint64(len(deleted))
 	for _, dest := range unreachable {
-		delete(a.node.FIB, dest)
+		delete(node.FIB, dest)
 		if a.OnRouteChange != nil {
 			a.OnRouteChange(dest, a.table.Infinity(), false)
 		}
