@@ -10,13 +10,14 @@ import (
 
 	"routesync/internal/bench"
 	"routesync/internal/des"
+	"routesync/internal/netsim"
 	"routesync/internal/runner"
 )
 
 // benchFileName is this PR's entry in the benchmark trajectory; the
 // number advances with the PR sequence so successive snapshots sit side
 // by side in out/.
-const benchFileName = "BENCH_0008.json"
+const benchFileName = "BENCH_0009.json"
 
 // benchResult is one micro-benchmark measurement.
 type benchResult struct {
@@ -84,6 +85,10 @@ func runBench(outDir string) error {
 		{"NetsimBGP/N=1000/K=8", func(b *testing.B) { bench.NetsimBGP(b, 1000, 8) }},
 		{"NetsimExchange/K=2", func(b *testing.B) { bench.NetsimExchange(b, 2) }},
 		{"NetsimExchange/K=4", func(b *testing.B) { bench.NetsimExchange(b, 4) }},
+		{"NetsimLowLookahead/mode=conservative/K=1", func(b *testing.B) { bench.NetsimLowLookahead(b, netsim.SyncConservative, 1) }},
+		{"NetsimLowLookahead/mode=conservative/K=4", func(b *testing.B) { bench.NetsimLowLookahead(b, netsim.SyncConservative, 4) }},
+		{"NetsimLowLookahead/mode=optimistic/K=1", func(b *testing.B) { bench.NetsimLowLookahead(b, netsim.SyncOptimistic, 1) }},
+		{"NetsimLowLookahead/mode=optimistic/K=4", func(b *testing.B) { bench.NetsimLowLookahead(b, netsim.SyncOptimistic, 4) }},
 	}
 	bf := benchFile{
 		GoVersion: runtime.Version(),

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"routesync/internal/des"
+	"routesync/internal/netsim"
 )
 
 // Wrappers exposing the shared benchmark bodies to `go test -bench`.
@@ -81,6 +82,14 @@ func BenchmarkPathVectorUpdate(b *testing.B) { PathVectorUpdate(b) }
 func BenchmarkNetsimBGP(b *testing.B) {
 	for _, k := range []int{1, 2, 8} {
 		b.Run(fmt.Sprintf("N=1000/K=%d", k), func(b *testing.B) { NetsimBGP(b, 1000, k) })
+	}
+}
+
+func BenchmarkNetsimLowLookahead(b *testing.B) {
+	for _, mode := range []netsim.SyncMode{netsim.SyncConservative, netsim.SyncOptimistic} {
+		for _, k := range []int{1, 4} {
+			b.Run(fmt.Sprintf("mode=%s/K=%d", mode, k), func(b *testing.B) { NetsimLowLookahead(b, mode, k) })
+		}
 	}
 }
 

@@ -99,11 +99,17 @@ type Packet struct {
 
 	// Pool bookkeeping (see pktpool.go). gen is bumped on every release
 	// so stale PacketRefs detect reuse; payloadBuf is the slot's retained
-	// payload arena, sized by its high-water mark.
+	// payload arena, sized by its high-water mark. home is the pool that
+	// allocated the slot — a release on a foreign logical process parks
+	// the slot for repatriation at the next window barrier instead of
+	// adopting it. regIdx is the slot's position in its pool's live
+	// registry when tracking is on (optimistic mode), -1 otherwise.
 	gen        uint32
 	pooled     bool
 	live       bool
 	payloadBuf []byte
+	home       *pktPool
+	regIdx     int32
 }
 
 // Hop is one record-route entry.
@@ -237,6 +243,13 @@ type Network struct {
 	parts   []*partition
 	// lookahead is the minimum cross-partition link delay (see Lookahead).
 	lookahead float64
+	// optCfg is the resolved optimistic lease configuration; syncStats
+	// accumulates per-round synchronization counters (both modes).
+	// syncObs is the SyncObserver view of obs, cached at SetObserver so
+	// the per-round notification costs one nil check.
+	optCfg    OptimisticConfig
+	syncStats SyncStats
+	syncObs   SyncObserver
 	// phantomPktSeq numbers packets whose src is not a real node.
 	phantomPktSeq uint64
 	obs           des.Observer
@@ -396,6 +409,7 @@ func (n *Network) Inject(pkt *Packet) {
 // atomic metrics observer is.
 func (n *Network) SetObserver(obs des.Observer) {
 	n.obs = obs
+	n.syncObs, _ = obs.(SyncObserver)
 	n.Sim.SetObserver(obs)
 	for _, p := range n.parts {
 		p.sim.SetObserver(obs)

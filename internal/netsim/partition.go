@@ -39,10 +39,15 @@ type boundaryEvent struct {
 
 // windowCmd is one coordinator→worker instruction: run a window to wend
 // (strictly before, or inclusive for the final horizon pass), or quit.
+// save first checkpoints the logical process (optimistic speculation);
+// rollback first restores the round-start checkpoint, turning the window
+// into a deterministic replay up to the commit bound.
 type windowCmd struct {
 	wend      float64
 	inclusive bool
 	quit      bool
+	save      bool
+	rollback  bool
 }
 
 // arrival is a pooled boundary-arrival slot: the event payload plus a
@@ -83,6 +88,30 @@ type partition struct {
 	// RunUntil call allocates neither channels nor closures.
 	start chan windowCmd
 	runFn func()
+
+	// Optimistic-mode state (see optimistic.go). ckp/snap are the
+	// round-start checkpoint of the simulator and of this LP's netsim
+	// state; chk holds component checkpoint hooks (RegisterCheckpoint);
+	// allArr registers every arrival slot ever minted so a rollback can
+	// restore slots recycled by speculatively fired arrivals; lease is
+	// the adaptive speculation bound and rolled the current round's
+	// rollback flag; ownedLinks/ownedLANs are the media directions this
+	// LP checkpoints, precomputed at Partition.
+	ckp        des.Checkpoint
+	snap       lpSnap
+	chk        []Checkpointable
+	allArr     []*arrival
+	lease      float64
+	rolled     bool
+	ownedLinks []ownedLinkDir
+	ownedLANs  []*LAN
+}
+
+// ownedLinkDir is one link transmit direction owned by a logical process
+// (the direction whose sender the LP owns).
+type ownedLinkDir struct {
+	l *Link
+	d int
 }
 
 func (p *partition) send(e boundaryEvent) { p.outbox = append(p.outbox, e) }
@@ -105,6 +134,7 @@ func (p *partition) getArrival() *arrival {
 		p.arrLive--
 		e.link.deliverTo(e.dst, e.pkt)
 	}
+	p.allArr = append(p.allArr, ar)
 	return ar
 }
 
@@ -114,12 +144,18 @@ func (p *partition) getArrival() *arrival {
 // workloads attached afterwards schedule through their nodes and land on
 // the owning partition's simulator automatically.
 //
+// Options select the synchronization mode (WithSyncMode, WithOptimistic);
+// without one the ROUTESYNC_SYNC_MODE environment variable decides,
+// defaulting to conservative.
+//
 // Constraints checked here:
 //   - every LAN must be wholly inside one partition (broadcast delivery
 //     is synchronous within a segment);
-//   - every link between partitions must have Delay > 0 — that delay is
-//     the lookahead the parallel advance is built on.
-func (n *Network) Partition(k int, owner func(NodeID) int) {
+//   - in conservative mode, every link between partitions must have
+//     Delay > 0 — that delay is the lookahead the bounded-window advance
+//     is built on. Optimistic mode accepts zero-delay boundary links
+//     (same-instant cross-LP cascades are resolved serially).
+func (n *Network) Partition(k int, owner func(NodeID) int, opts ...PartitionOption) {
 	if k < 1 {
 		panic("netsim: Partition needs k >= 1")
 	}
@@ -128,6 +164,10 @@ func (n *Network) Partition(k int, owner func(NodeID) int) {
 	}
 	if n.Sim.Pending() > 0 {
 		panic("netsim: Partition called with events already scheduled; partition before attaching agents and workloads")
+	}
+	po := partitionOpts{mode: DefaultSyncMode()}
+	for _, opt := range opts {
+		opt(&po)
 	}
 	parts := make([]*partition, k)
 	for i := range parts {
@@ -142,6 +182,12 @@ func (n *Network) Partition(k int, owner func(NodeID) int) {
 				if cmd.quit {
 					n.wdone.Done()
 					return
+				}
+				if cmd.save {
+					p.saveRound()
+				}
+				if cmd.rollback {
+					p.restoreRound()
 				}
 				if cmd.inclusive {
 					p.sim.RunUntil(cmd.wend)
@@ -173,8 +219,8 @@ func (n *Network) Partition(k int, owner func(NodeID) int) {
 			switch med := m.(type) {
 			case *Link:
 				if med.ends[0].part != med.ends[1].part {
-					if med.cfg.Delay <= 0 {
-						panic(fmt.Sprintf("netsim: link %v—%v crosses partitions with zero delay; boundary links need Delay > 0 for lookahead",
+					if med.cfg.Delay <= 0 && po.mode == SyncConservative {
+						panic(fmt.Sprintf("netsim: link %v—%v crosses partitions with zero delay; conservative mode needs Delay > 0 for lookahead (optimistic mode accepts zero-delay boundary links)",
 							med.ends[0], med.ends[1]))
 					}
 					if med.cfg.Delay < lookahead {
@@ -194,6 +240,17 @@ func (n *Network) Partition(k int, owner func(NodeID) int) {
 	}
 	n.parts = parts
 	n.lookahead = lookahead
+	n.syncStats.Mode = po.mode
+	if po.mode == SyncOptimistic {
+		n.optCfg = po.opt.withDefaults(lookahead)
+		for _, p := range parts {
+			p.pool.track = true
+			p.lease = n.optCfg.InitialLease
+		}
+		if k > 1 {
+			n.initSnapshots()
+		}
+	}
 }
 
 // NumPartitions returns the number of logical processes (0 while
@@ -228,12 +285,26 @@ func (n *Network) exchange() {
 		for i := range p.outbox {
 			e := p.outbox[i]
 			dp := e.dst.part
+			if p.pool.track && e.pkt.pooled && e.pkt.regIdx >= 0 {
+				// The packet changes logical process: move its live-registry
+				// membership to the receiver so the receiver's rollback
+				// snapshots cover it from here on.
+				p.pool.regRemove(e.pkt)
+				e.pkt.regIdx = int32(len(dp.pool.live))
+				dp.pool.live = append(dp.pool.live, e.pkt)
+			}
 			ar := dp.getArrival()
 			ar.e = e
 			dp.sim.ScheduleKeyed(e.at, e.key, "boundary-arrival", ar.fn)
 			p.outbox[i] = boundaryEvent{} // drop the packet reference
 		}
 		p.outbox = p.outbox[:0]
+	}
+	// Window barriers are also when released slots that drifted across
+	// partitions go home (see pktPool.repatriate), killing the structural
+	// alloc floor one-way cross-boundary flows would otherwise build.
+	for _, p := range n.parts {
+		p.pool.repatriate()
 	}
 }
 
@@ -275,6 +346,11 @@ func (n *Network) runPartitioned(horizon float64) {
 		go p.runFn()
 	}
 
+	if n.syncStats.Mode == SyncOptimistic {
+		n.runOptimistic(horizon)
+		return
+	}
+
 	for {
 		// The next window starts at the globally earliest pending event.
 		next := math.Inf(1)
@@ -294,12 +370,20 @@ func (n *Network) runPartitioned(horizon float64) {
 		// against boundary arrivals landing at wend, which are only
 		// delivered at the barrier below.
 		n.runWindow(windowCmd{wend: wend})
+		n.syncStats.Windows++
+		if n.syncObs != nil {
+			n.syncObs.SyncWindow(wend, 0, 0, 0)
+		}
 		n.exchange()
 	}
 	// Inclusive pass: execute events exactly at the horizon and leave
 	// every clock there. Boundary arrivals they produce land at
 	// > horizon (positive delay) and stay queued for the next call.
 	n.runWindow(windowCmd{wend: horizon, inclusive: true})
+	n.syncStats.Windows++
+	if n.syncObs != nil {
+		n.syncObs.SyncWindow(horizon, 0, 0, 0)
+	}
 	n.runWindow(windowCmd{quit: true})
 	n.exchange()
 }

@@ -32,34 +32,80 @@ import "fmt"
 //
 // Free lists are confined to their logical process: NewPacket pops the
 // creating LP's list, and a terminal sink pushes onto the list of the LP
-// executing the sink. A packet that crossed a partition boundary is
-// therefore recycled by the receiving LP — free lists never need locks,
-// and round-trip traffic keeps the pools balanced. The window barrier's
-// happens-before edges make the migration race-free.
+// executing the sink. A packet that crossed a partition boundary and was
+// terminated by the receiving LP is parked on that LP's foreign list and
+// repatriated to its home pool's free list at the next window barrier —
+// free lists never need locks, and one-way flows (e.g. valley-free BGP
+// export) cannot drain a source pool into a structural alloc floor. The
+// window barrier's happens-before edges make the migration race-free.
 
 // pktPool is one logical process's packet slot pool.
 type pktPool struct {
 	free []*Packet
+	// foreign holds released slots whose home is another pool; the
+	// coordinator repatriates them at window barriers.
+	foreign []*Packet
 	// created counts slots this pool allocated from the heap; the
-	// network-wide live-packet count is Σ created − Σ len(free), which
-	// stays correct when slots migrate between pools.
+	// network-wide live-packet count is Σ created − Σ (free + foreign),
+	// which stays correct while slots await repatriation.
 	created uint64
+	// track enables the live registry (optimistic mode only): every
+	// drawn slot is indexed in live so a rollback can snapshot and
+	// restore exactly the packets in flight on this logical process.
+	track bool
+	live  []*Packet
 }
 
 func (pp *pktPool) get() *Packet {
+	var pkt *Packet
 	if k := len(pp.free); k > 0 {
-		pkt := pp.free[k-1]
+		pkt = pp.free[k-1]
 		pp.free[k-1] = nil
 		pp.free = pp.free[:k-1]
 		pkt.live = true
-		return pkt
+	} else {
+		pp.created++
+		pkt = &Packet{pooled: true, live: true, home: pp, regIdx: -1}
 	}
-	pp.created++
-	return &Packet{pooled: true, live: true}
+	if pp.track {
+		pkt.regIdx = int32(len(pp.live))
+		pp.live = append(pp.live, pkt)
+	}
+	return pkt
 }
 
 func (pp *pktPool) put(pkt *Packet) {
-	pp.free = append(pp.free, pkt)
+	if pkt.home == pp || pkt.home == nil {
+		pp.free = append(pp.free, pkt)
+		return
+	}
+	pp.foreign = append(pp.foreign, pkt)
+}
+
+// regRemove drops pkt from the live registry by swap-remove. Only called
+// when tracking is on; the releasing logical process is always the
+// registry owner (cross-partition packets change registries at the
+// exchange barrier, before the receiving LP can touch them).
+func (pp *pktPool) regRemove(pkt *Packet) {
+	i := pkt.regIdx
+	last := len(pp.live) - 1
+	moved := pp.live[last]
+	pp.live[i] = moved
+	moved.regIdx = i
+	pp.live[last] = nil
+	pp.live = pp.live[:last]
+	pkt.regIdx = -1
+}
+
+// repatriate returns every foreign slot to its home pool's free list.
+// Only the partition coordinator calls it, between windows, when no
+// logical process is running.
+func (pp *pktPool) repatriate() {
+	for i, pkt := range pp.foreign {
+		pkt.home.free = append(pkt.home.free, pkt)
+		pp.foreign[i] = nil
+	}
+	pp.foreign = pp.foreign[:0]
 }
 
 // poolFor returns the packet pool of the logical process executing at nd:
@@ -91,7 +137,11 @@ func (n *Network) releaseAt(nd *Node, pkt *Packet) {
 	// its high-water mark.
 	pkt.Payload = nil
 	pkt.Hops = pkt.Hops[:0]
-	n.poolFor(nd).put(pkt)
+	pp := n.poolFor(nd)
+	if pp.track {
+		pp.regRemove(pkt)
+	}
+	pp.put(pkt)
 }
 
 // ReleasePacket returns a packet this node's logical process owns to the
@@ -175,10 +225,10 @@ func (n *Network) clonePacket(nd *Node, pkt *Packet) *Packet {
 // queue — which is exactly what the leak tests assert against
 // ParkedPackets.
 func (n *Network) LivePackets() int {
-	created, free := n.pool.created, len(n.pool.free)
+	created, free := n.pool.created, len(n.pool.free)+len(n.pool.foreign)
 	for _, p := range n.parts {
 		created += p.pool.created
-		free += len(p.pool.free)
+		free += len(p.pool.free) + len(p.pool.foreign)
 	}
 	return int(created) - free
 }

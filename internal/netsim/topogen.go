@@ -304,6 +304,86 @@ func (n *Network) BuildProviderCustomer(cfg ProviderCustomerConfig) *ASGraph {
 	return g
 }
 
+// MetroLANConfig parameterizes BuildMetroLAN.
+type MetroLANConfig struct {
+	// Segments is the number of LAN segments; HostsPerSeg the number of
+	// routers on each (including the segment's gateway).
+	Segments, HostsPerSeg int
+	// LAN configures each broadcast segment; a zero Delay means 50 µs at
+	// 10 Mb/s (a classic shared Ethernet).
+	LAN LANConfig
+	// Bridge configures the gateway-to-gateway links joining the
+	// segments; a zero Delay means 100 µs at 100 Mb/s (a metro fiber
+	// bridge). The bridge delay is the synchronization lookahead when the
+	// build is partitioned along segment boundaries — deliberately tiny
+	// relative to any routing-protocol period, which is what makes this
+	// the low-lookahead stress topology for the optimistic engine.
+	Bridge LinkConfig
+	// CPU configures every router's CPU; nil means no CPU model.
+	CPU *CPUConfig
+}
+
+// MetroLAN is the built topology: Hosts[s][i] is router i of segment s,
+// and Gateways[s] (== Hosts[s][0]) sits on the inter-segment bridge
+// ring. Node ids are dense per segment, so OwnerByBlock(HostsPerSeg,
+// Segments, k) partitions along segment boundaries without splitting a
+// LAN (a LAN must live inside one partition).
+type MetroLAN struct {
+	Hosts    [][]*Node
+	Gateways []*Node
+	LANs     []*LAN
+}
+
+// BuildMetroLAN creates a metropolitan campus network: Segments broadcast
+// LANs, each segment's router 0 acting as its gateway, joined by a
+// bridge ring over the gateways plus skip links every 4 segments. The
+// layout is fully deterministic. No routes are installed; callers attach
+// agents and workloads.
+//
+// The interesting property is the ratio between the bridge delay (the
+// partitioned lookahead, ~100 µs) and the inter-segment traffic gap
+// (routing periods, seconds): a conservative engine must barrier every
+// lookahead even though virtually no window moves a boundary packet,
+// while an optimistic engine's leases stretch toward the real traffic
+// spacing.
+func (n *Network) BuildMetroLAN(cfg MetroLANConfig) *MetroLAN {
+	if cfg.Segments < 1 || cfg.HostsPerSeg < 2 {
+		panic("netsim: BuildMetroLAN needs segments of at least 2 hosts")
+	}
+	if cfg.LAN.Delay == 0 {
+		cfg.LAN = LANConfig{Delay: 50e-6, Bandwidth: 10e6, QueueCap: cfg.LAN.QueueCap}
+	}
+	if cfg.Bridge.Delay == 0 {
+		cfg.Bridge = LinkConfig{Delay: 100e-6, Bandwidth: 100e6, QueueCap: cfg.Bridge.QueueCap}
+	}
+	t := &MetroLAN{
+		Hosts:    make([][]*Node, cfg.Segments),
+		Gateways: make([]*Node, cfg.Segments),
+		LANs:     make([]*LAN, cfg.Segments),
+	}
+	for s := 0; s < cfg.Segments; s++ {
+		hosts := make([]*Node, cfg.HostsPerSeg)
+		for i := range hosts {
+			hosts[i] = n.NewNode(fmt.Sprintf("seg%d.h%d", s, i), cfg.CPU)
+		}
+		t.Hosts[s] = hosts
+		t.Gateways[s] = hosts[0]
+		t.LANs[s] = n.NewLAN(hosts, cfg.LAN)
+	}
+	if cfg.Segments > 1 {
+		for s := 0; s+1 < cfg.Segments; s++ {
+			n.Connect(t.Gateways[s], t.Gateways[s+1], cfg.Bridge)
+		}
+		if cfg.Segments > 2 {
+			n.Connect(t.Gateways[cfg.Segments-1], t.Gateways[0], cfg.Bridge)
+		}
+		for s := 0; s+4 < cfg.Segments; s += 4 {
+			n.Connect(t.Gateways[s], t.Gateways[s+4], cfg.Bridge)
+		}
+	}
+	return t
+}
+
 // OwnerByBlock returns an owner function assigning node ids to k
 // partitions in contiguous blocks of the given size: ids [0, blockSize)
 // share a partition, and blocks are dealt round-robin-free — block b goes

@@ -10,7 +10,29 @@ import (
 	"testing"
 
 	"routesync/internal/des"
+	"routesync/internal/netsim"
 )
+
+// The metrics observer must satisfy the partition engine's sync hook so
+// netsim.SetObserver wires it up automatically.
+var _ netsim.SyncObserver = (*Metrics)(nil)
+
+func TestMetricsSyncWindow(t *testing.T) {
+	m := &Metrics{}
+	m.SyncWindow(1.0, 0, 0, 0) // a conservative window: no rollback data
+	m.SyncWindow(2.0, 0.25, 2, 0.125)
+	m.SyncWindow(3.0, 0.1, 1, 0.5)
+	s := m.Snapshot()
+	if s == nil || s.SyncWindows != 3 || s.SyncRollbacks != 3 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.RollbackDepthMax != 0.5 {
+		t.Fatalf("RollbackDepthMax = %v, want 0.5", s.RollbackDepthMax)
+	}
+	if s.GVTLagMax != 0.25 {
+		t.Fatalf("GVTLagMax = %v, want 0.25", s.GVTLagMax)
+	}
+}
 
 // countingRegistry builds a registry of n file-writing experiments and
 // returns per-experiment run counters.
